@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Reproduces Figure 8: per-token latency of the QKV Linear and FFN
+ * subgraphs across chunk lengths on Xiaomi-14-class hardware; the paper
+ * picks 256 as the sweet spot.
+ */
+#include "bench/bench_util.h"
+#include "src/sim/processor.h"
+#include "src/model/config.h"
+#include "src/sim/soc.h"
+
+namespace llmnpu {
+namespace {
+
+double
+PerTokenMs(const ProcessorModel& npu, int chunk, int64_t k, int64_t n)
+{
+    const double ms =
+        npu.MatMulMs({chunk, k, n}, ExecFormat::kInt8PerTensor, 0, true) +
+        npu.DispatchMs();
+    return ms / chunk;
+}
+
+void
+Run()
+{
+    BenchHeader("Figure 8: per-token QKV/FFN latency vs chunk length",
+                "latency falls steeply to a minimum near chunk length 256, "
+                "then rises mildly (llm.npu picks 256)");
+    const SocSpec soc = SocSpec::RedmiK70Pro();
+    const auto& npu = soc.Processor(Unit::kNpu);
+    const ModelConfig qwen = Qwen15_1_8B();
+    const ModelConfig gemma = Gemma2B();
+
+    Table table({"Chunk length", "QKV Qwen1.5-1.8B (ms/token)",
+                 "FFN Qwen1.5-1.8B", "QKV Gemma-2B", "FFN Gemma-2B"});
+    double best_chunk = 0, best_latency = 1e18;
+    for (int chunk : {32, 64, 128, 192, 256, 384, 512, 768, 1024}) {
+        const double qkv_qwen = PerTokenMs(npu, chunk, qwen.hidden_size,
+                                           3 * qwen.hidden_size);
+        const double ffn_qwen =
+            PerTokenMs(npu, chunk, qwen.hidden_size, 2 * qwen.ffn_hidden) +
+            PerTokenMs(npu, chunk, qwen.ffn_hidden, qwen.hidden_size);
+        const double qkv_gemma = PerTokenMs(
+            npu, chunk, gemma.hidden_size,
+            static_cast<int64_t>(gemma.num_heads) * gemma.head_dim +
+                2 * gemma.num_kv_heads * gemma.head_dim);
+        const double ffn_gemma =
+            PerTokenMs(npu, chunk, gemma.hidden_size, 2 * gemma.ffn_hidden) +
+            PerTokenMs(npu, chunk, gemma.ffn_hidden, gemma.hidden_size);
+        table.AddRow({StrFormat("%d", chunk), Table::Num(qkv_qwen, 4),
+                      Table::Num(ffn_qwen, 4), Table::Num(qkv_gemma, 4),
+                      Table::Num(ffn_gemma, 4)});
+        const double combined = qkv_qwen + ffn_qwen + qkv_gemma + ffn_gemma;
+        if (combined < best_latency) {
+            best_latency = combined;
+            best_chunk = chunk;
+        }
+    }
+    table.Print();
+    std::printf("\nMeasured optimum chunk length: %.0f (paper: 256)\n",
+                best_chunk);
+}
+
+}  // namespace
+}  // namespace llmnpu
+
+int
+main()
+{
+    llmnpu::Run();
+    return 0;
+}

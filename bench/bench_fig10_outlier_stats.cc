@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Reproduces Figures 10-11: per-layer outlier channel counts/fractions and
+ * the hot-channel skew (a small channel set carries most outliers), on a
+ * scaled Qwen proxy with real numerics.
+ */
+#include <numeric>
+
+#include "bench/bench_util.h"
+#include "src/core/outlier_profile.h"
+#include "src/workloads/corpus.h"
+
+namespace llmnpu {
+namespace {
+
+void
+Run()
+{
+    BenchHeader("Figures 10-11: activation outlier statistics",
+                "<=0.3% of channels are outliers per inference (5-15 "
+                "channels/layer); <3% of channels carry >80% of outliers");
+    const ModelConfig proxy = ScaledProxy(Qwen15_1_8B(), 256, 6, 512);
+    ModelWeights weights = GenerateSyntheticWeights(proxy);
+    Transformer model(weights);
+
+    CorpusOptions corpus_options;
+    corpus_options.vocab_size = proxy.vocab_size;
+    corpus_options.num_sequences = 8;
+    corpus_options.min_len = 48;
+    corpus_options.max_len = 96;
+    const auto corpus = MakeCorpus(corpus_options);
+    const CalibrationData calib = CalibrationData::Collect(model, corpus);
+    const OutlierProfile profile =
+        OutlierProfile::Collect(model, calib, corpus);
+
+    // Figure 10: per-layer outlier counts for the four operators the paper
+    // plots.
+    const LinearKind kinds[] = {LinearKind::kWq, LinearKind::kWo,
+                                LinearKind::kFfnUp, LinearKind::kFfnDown};
+    Table fig10({"Layer", "q_proj #", "o_proj #", "up_proj #", "down_proj #",
+                 "max fraction"});
+    for (int l = 0; l < proxy.num_layers; ++l) {
+        double max_fraction = 0.0;
+        std::vector<std::string> row = {StrFormat("%d", l)};
+        for (LinearKind kind : kinds) {
+            const auto& stats = profile.Stats(l, kind);
+            row.push_back(Table::Num(stats.mean_outliers_per_token, 1));
+            max_fraction = std::max(max_fraction,
+                                    stats.mean_outlier_fraction);
+        }
+        row.push_back(Table::Num(max_fraction * 100.0, 2) + "%");
+        fig10.AddRow(std::move(row));
+    }
+    fig10.Print();
+
+    // Figure 11: channel skew.
+    std::printf("\nFigure 11 (hot-channel skew), q_proj inputs:\n");
+    Table fig11({"Layer", "hot channels", "% of channels", "coverage"});
+    for (int l = 0; l < proxy.num_layers; ++l) {
+        const auto& stats = profile.Stats(l, LinearKind::kWq);
+        fig11.AddRow(
+            {StrFormat("%d", l),
+             StrFormat("%zu", stats.hot_channels.size()),
+             Table::Num(100.0 * static_cast<double>(
+                                    stats.hot_channels.size()) /
+                            static_cast<double>(proxy.hidden_size), 1) + "%",
+             Table::Num(stats.hot_coverage_achieved * 100.0, 1) + "%"});
+    }
+    fig11.Print();
+    std::printf("\nShape check: outliers are sparse per token and "
+                "concentrated in a small hot-channel set (paper: <3%% of "
+                "channels cover >80%%).\nNote: the proxy injects ~3%% hot "
+                "channels into a 256-wide model, so absolute fractions sit "
+                "above the paper's 2048-wide 0.1-0.3%%; the skew shape is "
+                "what transfers.\n");
+}
+
+}  // namespace
+}  // namespace llmnpu
+
+int
+main()
+{
+    llmnpu::Run();
+    return 0;
+}

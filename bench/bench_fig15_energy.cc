@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Reproduces Figure 15: prefill energy consumption on the Redmi K60 Pro
+ * (the rootable device) across prompt lengths, llm.npu vs the baselines
+ * the paper measures (llama.cpp-CPU, MLC-GPU, TFLite-GPU).
+ */
+#include "bench/bench_util.h"
+#include "src/core/llmnpu_engine.h"
+#include "src/engines/baselines.h"
+
+namespace llmnpu {
+namespace {
+
+void
+Run()
+{
+    BenchHeader("Figure 15: prefill energy on Redmi K60 Pro",
+                "@1024 llm.npu saves 35.6-59.5x vs llama.cpp-CPU, "
+                "35.2-59.3x vs MLC-GPU, 1.85-4.32x vs TFLite-GPU");
+    const SocSpec soc = SocSpec::RedmiK60Pro();
+    LlmNpuEngine ours;
+    LlamaCppEngine lcpp;
+    MlcGpuEngine mlc;
+    TfliteEngine tflite(Unit::kGpu);
+
+    for (int prompt_len : {64, 256, 1024}) {
+        std::printf("\n-- prompt length %d --\n", prompt_len);
+        Table table({"Model", "Ours (mJ)", "llama.cpp-CPU", "MLC-GPU",
+                     "TFLite-GPU"});
+        for (const ModelConfig& config : PaperModels()) {
+            const InferenceRequest req{prompt_len, 1};
+            const double our_mj =
+                ours.Run(config, soc, req).prefill_energy_mj;
+            std::vector<std::string> row = {config.name,
+                                            Table::Num(our_mj, 0)};
+            for (InferenceEngine* engine :
+                 std::initializer_list<InferenceEngine*>{&lcpp, &mlc,
+                                                         &tflite}) {
+                if (!engine->SupportsModel(config)) {
+                    row.push_back("-");
+                    continue;
+                }
+                const double mj =
+                    engine->Run(config, soc, req).prefill_energy_mj;
+                row.push_back(
+                    StrFormat("%.0f mJ (%.1fx)", mj, mj / our_mj));
+            }
+            table.AddRow(std::move(row));
+        }
+        table.Print();
+    }
+
+    const double ours_mj =
+        ours.Run(Qwen15_1_8B(), soc, {1024, 1}).prefill_energy_mj;
+    const double lcpp_mj =
+        lcpp.Run(Qwen15_1_8B(), soc, {1024, 1}).prefill_energy_mj;
+    Verdict("Qwen1.5-1.8B @1024 energy saving vs llama.cpp-CPU",
+            lcpp_mj / ours_mj, 35.6, 59.5);
+}
+
+}  // namespace
+}  // namespace llmnpu
+
+int
+main()
+{
+    llmnpu::Run();
+    return 0;
+}

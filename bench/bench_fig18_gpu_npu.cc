@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Reproduces Figure 18: GPU-NPU vs CPU-NPU coordination — identical prefill
+ * speed (the float processor is hidden behind the NPU either way) but lower
+ * end-to-end latency thanks to faster GPU decoding.
+ */
+#include "bench/bench_util.h"
+#include "src/core/llmnpu_engine.h"
+#include "src/workloads/datasets.h"
+
+namespace llmnpu {
+namespace {
+
+void
+Run()
+{
+    BenchHeader("Figure 18: GPU-NPU vs CPU-NPU coordination (Gemma-2B)",
+                "prefill speed equal (148/322/604 tok/s at 64/256/1024); "
+                "GPU-NPU cuts end-to-end latency by 80-90 ms via decode");
+    const SocSpec soc = SocSpec::RedmiK70Pro();
+    const ModelConfig gemma = Gemma2B();
+    LlmNpuEngine cpu_npu;
+    LlmNpuOptions gpu_options;
+    gpu_options.use_gpu_float = true;
+    gpu_options.label = "llm.npu (GPU-NPU)";
+    LlmNpuEngine gpu_npu(gpu_options);
+
+    // Panel (a): prefill speed across prompt lengths.
+    Table panel_a({"Prompt length", "CPU-NPU (tok/s)", "GPU-NPU (tok/s)",
+                   "paper (both)"});
+    const double paper_speed[] = {148, 322, 604};
+    int i = 0;
+    for (int prompt_len : {64, 256, 1024}) {
+        const double cpu_speed =
+            cpu_npu.Run(gemma, soc, {prompt_len, 1})
+                .PrefillTokensPerSec(prompt_len);
+        const double gpu_speed =
+            gpu_npu.Run(gemma, soc, {prompt_len, 1})
+                .PrefillTokensPerSec(prompt_len);
+        panel_a.AddRow({StrFormat("%d", prompt_len),
+                        Table::Num(cpu_speed, 0), Table::Num(gpu_speed, 0),
+                        Table::Num(paper_speed[i++], 0)});
+    }
+    panel_a.Print();
+
+    // Panel (b): end-to-end latency on the LongBench datasets.
+    std::printf("\nPanel (b): end-to-end latency on LongBench:\n");
+    Table panel_b({"Dataset", "CPU-NPU e2e (s)", "GPU-NPU e2e (s)",
+                   "saving (ms)"});
+    for (const DatasetProfile& dataset :
+         {Longbench2WikiProfile(), LongbenchTriviaQaProfile()}) {
+        const InferenceRequest req = dataset.Typical();
+        const EngineResult cpu_result = cpu_npu.Run(gemma, soc, req);
+        const EngineResult gpu_result = gpu_npu.Run(gemma, soc, req);
+        panel_b.AddRow(
+            {dataset.name, Table::Num(cpu_result.EndToEndMs() / 1e3, 2),
+             Table::Num(gpu_result.EndToEndMs() / 1e3, 2),
+             StrFormat("%.0f (paper: 80-90)",
+                       cpu_result.EndToEndMs() - gpu_result.EndToEndMs())});
+    }
+    panel_b.Print();
+    std::printf("\nShape check: coordination does not change prefill (the "
+                "float unit is hidden by the NPU) but reduces end-to-end "
+                "latency via decode.\n");
+}
+
+}  // namespace
+}  // namespace llmnpu
+
+int
+main()
+{
+    llmnpu::Run();
+    return 0;
+}

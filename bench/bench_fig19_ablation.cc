@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Reproduces Figure 19: the ablation ladder — CPU baseline, naive NPU
+ * offload, then +chunk-sharing, +shadow outlier, +out-of-order execution —
+ * at a 512-token prompt.
+ */
+#include "bench/bench_util.h"
+#include "src/core/llmnpu_engine.h"
+#include "src/engines/baselines.h"
+
+namespace llmnpu {
+namespace {
+
+struct PaperBar {
+    const char* model;
+    double cpu, naive, chunk, outlier, ooe;  // tokens/s from Figure 19
+};
+
+void
+Run()
+{
+    BenchHeader("Figure 19: ablation study (prompt length 512)",
+                "naive NPU is 2.55-2.68x slower than CPU; chunk +1.46-5.09x; "
+                "shadow outlier +3.91-8.68x; out-of-order +18-44%");
+    const SocSpec soc = SocSpec::RedmiK70Pro();
+    const InferenceRequest req{512, 1};
+    const PaperBar paper_bars[] = {
+        {"Gemma-2B", 46, 18, 91, 355, 420},
+        {"Qwen1.5-1.8B", 65, 25, 37, 395, 569},
+        {"LlaMA-2-7B", 13, 5, 15, 133, 186},
+    };
+
+    LlamaCppEngine cpu_engine;
+    NaiveNpuEngine naive_engine;
+    LlmNpuOptions chunk_options;
+    chunk_options.enable_shadow = false;
+    chunk_options.enable_ooo = false;
+    chunk_options.label = "Naive + Chunk";
+    LlmNpuOptions outlier_options = chunk_options;
+    outlier_options.enable_shadow = true;
+    outlier_options.label = "Naive + Chunk + Outlier";
+    LlmNpuOptions full_options = outlier_options;
+    full_options.enable_ooo = true;
+    full_options.label = "+ OOE (llm.npu)";
+    LlmNpuEngine chunk_engine(chunk_options);
+    LlmNpuEngine outlier_engine(outlier_options);
+    LlmNpuEngine full_engine(full_options);
+
+    for (const PaperBar& bar : paper_bars) {
+        const ModelConfig config = ModelByName(bar.model);
+        auto speed = [&](InferenceEngine& engine) {
+            return 512.0 * 1e3 / engine.Run(config, soc, req).prefill_ms;
+        };
+        const double v_cpu = speed(cpu_engine);
+        const double v_naive = speed(naive_engine);
+        const double v_chunk = speed(chunk_engine);
+        const double v_outlier = speed(outlier_engine);
+        const double v_full = speed(full_engine);
+
+        std::printf("\n-- %s --\n", bar.model);
+        Table table({"Configuration", "tokens/s", "paper tokens/s"});
+        table.AddRow({"CPU (llama.cpp)", Table::Num(v_cpu, 0),
+                      Table::Num(bar.cpu, 0)});
+        table.AddRow({"Naive NPU offload", Table::Num(v_naive, 0),
+                      Table::Num(bar.naive, 0)});
+        table.AddRow({"Naive + Chunk", Table::Num(v_chunk, 0),
+                      Table::Num(bar.chunk, 0)});
+        table.AddRow({"Naive + Chunk + Outlier", Table::Num(v_outlier, 0),
+                      Table::Num(bar.outlier, 0)});
+        table.AddRow({"Naive + Chunk + Outlier + OOE",
+                      Table::Num(v_full, 0), Table::Num(bar.ooe, 0)});
+        table.Print();
+        Verdict("shadow-outlier step gain", v_outlier / v_chunk, 3.91, 8.68);
+        Verdict("out-of-order step gain", v_full / v_outlier, 1.18, 1.44);
+    }
+}
+
+}  // namespace
+}  // namespace llmnpu
+
+int
+main()
+{
+    llmnpu::Run();
+    return 0;
+}

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the numeric kernels: fp32 vs W8A8
+ * per-tensor vs per-group matmul, outlier extraction, and chunked
+ * attention. These measure *this host's* kernel throughput (the numeric
+ * plane), not the simulated phone.
+ */
+#include <benchmark/benchmark.h>
+
+#include "src/core/outlier_profile.h"
+#include "src/core/shadow_executor.h"
+#include "src/tensor/matmul.h"
+#include "src/tensor/ops.h"
+#include "src/util/rng.h"
+
+namespace llmnpu {
+namespace {
+
+Tensor
+RandomTensor(Rng& rng, std::vector<int64_t> shape)
+{
+    Tensor t(std::move(shape), DType::kF32);
+    float* p = t.Data<float>();
+    for (int64_t i = 0; i < t.NumElements(); ++i) {
+        p[i] = static_cast<float>(rng.Normal());
+    }
+    return t;
+}
+
+void
+BM_MatMulF32(benchmark::State& state)
+{
+    const int64_t n = state.range(0);
+    Rng rng(1);
+    Tensor a = RandomTensor(rng, {32, n});
+    Tensor w = RandomTensor(rng, {n, n});
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(MatMulF32(a, w));
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * 32 * n * n);
+}
+BENCHMARK(BM_MatMulF32)->Arg(128)->Arg(256)->Arg(512);
+
+void
+BM_MatMulW8A8PerTensor(benchmark::State& state)
+{
+    const int64_t n = state.range(0);
+    Rng rng(2);
+    Tensor a = RandomTensor(rng, {32, n});
+    Tensor w = RandomTensor(rng, {n, n});
+    const QuantParams params = ComputeSymmetricScale(a);
+    Tensor a_q = QuantizeSymmetric(a, params);
+    PerColumnWeights wq = QuantizePerColumn(w);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            MatMulW8A8PerTensor(a_q, params.scale, wq.q, wq.scales));
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * 32 * n * n);
+}
+BENCHMARK(BM_MatMulW8A8PerTensor)->Arg(128)->Arg(256)->Arg(512);
+
+void
+BM_MatMulPerGroup(benchmark::State& state)
+{
+    const int64_t n = state.range(0);
+    Rng rng(3);
+    Tensor a = RandomTensor(rng, {32, n});
+    Tensor w = RandomTensor(rng, {n, n});
+    PerGroupWeights pg = QuantizePerGroup(w, 32);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(MatMulPerGroup(a, pg));
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * 32 * n * n);
+}
+BENCHMARK(BM_MatMulPerGroup)->Arg(128)->Arg(256)->Arg(512);
+
+void
+BM_CausalAttention(benchmark::State& state)
+{
+    const int64_t kv = state.range(0);
+    Rng rng(4);
+    Tensor q = RandomTensor(rng, {32, 256});
+    Tensor k = RandomTensor(rng, {kv, 256});
+    Tensor v = RandomTensor(rng, {kv, 256});
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(CausalAttention(q, k, v, 4, 4, kv - 32));
+    }
+}
+BENCHMARK(BM_CausalAttention)->Arg(64)->Arg(256)->Arg(512);
+
+void
+BM_QuantizeSymmetric(benchmark::State& state)
+{
+    Rng rng(5);
+    Tensor x = RandomTensor(rng, {256, state.range(0)});
+    const QuantParams params = ComputeSymmetricScale(x);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(QuantizeSymmetric(x, params));
+    }
+    state.SetItemsProcessed(state.iterations() * x.NumElements());
+}
+BENCHMARK(BM_QuantizeSymmetric)->Arg(512)->Arg(2048);
+
+}  // namespace
+}  // namespace llmnpu
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Verifies §3.4's claim that the online C-value scheduling decision costs
+ * microseconds: times one full out-of-order schedule of a realistic prefill
+ * DAG and divides by the number of decisions.
+ */
+#include <benchmark/benchmark.h>
+
+#include "src/core/llmnpu_engine.h"
+#include "src/core/scheduler.h"
+
+namespace llmnpu {
+namespace {
+
+std::vector<SimTask>
+MakeDag(int num_chunks)
+{
+    const SocSpec soc = SocSpec::RedmiK70Pro();
+    const ModelConfig qwen = Qwen15_1_8B();
+    LlmNpuEngine probe;
+    std::vector<std::vector<StageTiming>> timings;
+    for (int c = 0; c < num_chunks; ++c) {
+        timings.push_back(probe.ChunkStageTimings(
+            qwen, soc, 256, static_cast<int64_t>(c + 1) * 256, 0.0));
+    }
+    return BuildPrefillDag(timings, qwen.num_layers, false);
+}
+
+void
+BM_OooSchedule(benchmark::State& state)
+{
+    const auto dag = MakeDag(static_cast<int>(state.range(0)));
+    const TaskPicker picker = OooPicker();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(RunTimeline(dag, picker));
+    }
+    // Each task is one scheduling decision.
+    state.counters["us_per_decision"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) *
+            static_cast<double>(dag.size()),
+        benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+    state.SetLabel("paper: microsecond-level decisions");
+}
+BENCHMARK(BM_OooSchedule)->Arg(2)->Arg(4)->Arg(8)->Unit(
+    benchmark::kMillisecond);
+
+void
+BM_Eq5Schedule(benchmark::State& state)
+{
+    const auto dag = MakeDag(static_cast<int>(state.range(0)));
+    const TaskPicker picker = PaperEq5Picker();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(RunTimeline(dag, picker));
+    }
+}
+BENCHMARK(BM_Eq5Schedule)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void
+BM_DagConstruction(benchmark::State& state)
+{
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(MakeDag(static_cast<int>(state.range(0))));
+    }
+}
+BENCHMARK(BM_DagConstruction)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace llmnpu
+
+BENCHMARK_MAIN();

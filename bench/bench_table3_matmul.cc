@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Reproduces Table 3: execution latency (ms) for LLM-sized INT8/FP16
+ * matmuls across the NPU, CPU and GPU on the Redmi K70 Pro.
+ */
+#include "bench/bench_util.h"
+#include "src/sim/processor.h"
+#include "src/sim/soc.h"
+
+namespace llmnpu {
+namespace {
+
+struct Row {
+    MatMulShape shape;
+    double paper_npu_i8, paper_cpu_i8, paper_gpu_f16, paper_npu_f16;
+};
+
+const Row kRows[] = {
+    {{64, 2048, 2048}, 0.9, 4.2, 1.7, 252.0},
+    {{64, 2048, 8192}, 1.5, 6.8, 4.8, 986.0},
+    {{64, 2048, 11008}, 2.0, 11.6, 6.9, 1207.0},
+    {{32, 4096, 4096}, 1.7, 7.5, 3.1, 1054.0},
+    {{32, 4096, 8192}, 2.9, 13.1, 7.7, 2009.0},
+    {{32, 4096, 11008}, 4.1, 19.6, 10.4, 3112.0},
+};
+
+void
+Run()
+{
+    BenchHeader("Table 3: INT8 MatMul latency on Redmi K70 Pro",
+                "NPU INT8 is 4.5-5.8x CPU INT8 and 1.8-3.5x GPU FP16; "
+                "NPU FP16 is up to ~600x slower than NPU INT8");
+    const SocSpec soc = SocSpec::RedmiK70Pro();
+    Table table({"Matrix A", "Matrix B", "NPU INT8", "CPU INT8", "GPU FP16",
+                 "NPU FP16"});
+    for (const Row& row : kRows) {
+        const double npu_i8 = soc.Processor(Unit::kNpu).MatMulMs(
+            row.shape, ExecFormat::kInt8PerTensor, 0, false);
+        const double cpu_i8 = soc.Processor(Unit::kCpu).MatMulMs(
+            row.shape, ExecFormat::kInt8PerTensor, 0, false);
+        const double gpu_f16 = soc.Processor(Unit::kGpu).MatMulMs(
+            row.shape, ExecFormat::kFp16, 0, false);
+        const double npu_f16 = soc.Processor(Unit::kNpu).MatMulMs(
+            row.shape, ExecFormat::kFp16, 0, false);
+        table.AddRow({StrFormat("%ldx%ld", row.shape.m, row.shape.k),
+                      StrFormat("%ldx%ld", row.shape.k, row.shape.n),
+                      Table::WithPaper(npu_i8, row.paper_npu_i8),
+                      Table::WithPaper(cpu_i8, row.paper_cpu_i8),
+                      Table::WithPaper(gpu_f16, row.paper_gpu_f16),
+                      Table::WithPaper(npu_f16, row.paper_npu_f16, 0)});
+    }
+    table.Print();
+
+    // Aggregate ratios as the paper reports them.
+    double cpu_ratio_min = 1e9, cpu_ratio_max = 0.0;
+    double gpu_ratio_min = 1e9, gpu_ratio_max = 0.0;
+    for (const Row& row : kRows) {
+        const double npu = soc.Processor(Unit::kNpu).MatMulMs(
+            row.shape, ExecFormat::kInt8PerTensor, 0, false);
+        const double cpu = soc.Processor(Unit::kCpu).MatMulMs(
+            row.shape, ExecFormat::kInt8PerTensor, 0, false);
+        const double gpu = soc.Processor(Unit::kGpu).MatMulMs(
+            row.shape, ExecFormat::kFp16, 0, false);
+        cpu_ratio_min = std::min(cpu_ratio_min, cpu / npu);
+        cpu_ratio_max = std::max(cpu_ratio_max, cpu / npu);
+        gpu_ratio_min = std::min(gpu_ratio_min, gpu / npu);
+        gpu_ratio_max = std::max(gpu_ratio_max, gpu / npu);
+    }
+    Verdict("NPU INT8 speedup over CPU INT8 (min)", cpu_ratio_min, 4.4, 4.4);
+    Verdict("NPU INT8 speedup over CPU INT8 (max)", cpu_ratio_max, 5.8, 5.8);
+    Verdict("NPU INT8 speedup over GPU FP16 (min)", gpu_ratio_min, 1.8, 1.8);
+    Verdict("NPU INT8 speedup over GPU FP16 (max)", gpu_ratio_max, 3.5, 3.5);
+}
+
+}  // namespace
+}  // namespace llmnpu
+
+int
+main()
+{
+    llmnpu::Run();
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * UI task automation scenario (§1, §2.1): an agent ingests the screen view
+ * hierarchy (~600-800 tokens of XML) and emits one UI action per step; a
+ * task takes ~5 steps. On mobile CPUs each step costs ~8 s — llm.npu makes
+ * the whole task interactive.
+ *
+ * Run: ./build/examples/ui_automation
+ */
+#include <cstdio>
+
+#include "src/core/llmnpu_engine.h"
+#include "src/engines/baselines.h"
+#include "src/util/format.h"
+#include "src/util/rng.h"
+#include "src/workloads/datasets.h"
+
+int
+main()
+{
+    using namespace llmnpu;
+    const SocSpec phone = SocSpec::RedmiK70Pro();
+    const ModelConfig model = Qwen15_1_8B();
+    const DatasetProfile droidtask = DroidTaskAppsProfile();
+    constexpr int kSteps = 5;
+
+    LlmNpuEngine ours;
+    LlamaCppEngine llamacpp;
+    MnnCpuEngine mnn;
+
+    std::printf("UI automation task: %d steps, prompts of %d-%d tokens "
+                "(DroidTask profile), model %s\n\n",
+                kSteps, droidtask.prompt_min, droidtask.prompt_max,
+                model.name.c_str());
+
+    struct Candidate {
+        InferenceEngine* engine;
+    };
+    for (InferenceEngine* engine :
+         std::initializer_list<InferenceEngine*>{&ours, &llamacpp, &mnn}) {
+        Rng rng(7);  // same step sequence for every engine
+        double total_ms = 0.0;
+        double total_mj = 0.0;
+        std::printf("%-18s", engine->Name().c_str());
+        for (int step = 0; step < kSteps; ++step) {
+            const InferenceRequest request = droidtask.Sample(rng);
+            const EngineResult result = engine->Run(model, phone, request);
+            total_ms += result.EndToEndMs();
+            total_mj += result.prefill_energy_mj + result.decode_energy_mj;
+            std::printf(" step%d=%s", step + 1,
+                        HumanMs(result.EndToEndMs()).c_str());
+        }
+        std::printf("\n%-18s total %s, %.1f J\n\n", "",
+                    HumanMs(total_ms).c_str(), total_mj / 1e3);
+    }
+    std::printf("Paper anchor: one Qwen1.5-1.8B step takes 8.1 s on a "
+                "mobile CPU => >40 s per 5-step task (§1); llm.npu brings "
+                "the task to interactive latency.\n");
+    return 0;
+}

@@ -1,0 +1,179 @@
+#include "src/core/chunk_graph.h"
+
+#include <string>
+
+#include "src/util/check.h"
+#include "src/util/format.h"
+
+namespace llmnpu {
+
+const char*
+StageName(StageKind stage)
+{
+    switch (stage) {
+      case StageKind::kAttnNorm: return "attn_norm";
+      case StageKind::kQkvLinear: return "qkv";
+      case StageKind::kAttention: return "attention";
+      case StageKind::kOProj: return "o_proj";
+      case StageKind::kFfnNorm: return "ffn_norm";
+      case StageKind::kFfn: return "ffn";
+    }
+    return "?";
+}
+
+bool
+StageOnNpu(StageKind stage)
+{
+    return stage == StageKind::kQkvLinear || stage == StageKind::kOProj ||
+           stage == StageKind::kFfn;
+}
+
+bool
+StageIsDynamic(StageKind stage)
+{
+    return stage == StageKind::kAttention;
+}
+
+ChunkGraphPlan::ChunkGraphPlan(const ModelConfig& config, int chunk_len,
+                               bool share_static)
+    : config_(config), chunk_len_(chunk_len), share_static_(share_static)
+{
+    LLMNPU_CHECK_GT(chunk_len, 0);
+}
+
+int
+ChunkGraphPlan::NumChunks(int64_t prompt_len) const
+{
+    LLMNPU_CHECK_GT(prompt_len, 0);
+    return static_cast<int>((prompt_len + chunk_len_ - 1) / chunk_len_);
+}
+
+int
+ChunkGraphPlan::NumSubgraphs() const
+{
+    return config_.num_layers * kStagesPerLayer;
+}
+
+int
+ChunkGraphPlan::NumSharedSubgraphs() const
+{
+    if (!share_static_) return 0;
+    return config_.num_layers * (kStagesPerLayer - 1);
+}
+
+int64_t
+ChunkGraphPlan::StageWeightBytes(StageKind stage) const
+{
+    const int64_t q_dim = static_cast<int64_t>(config_.num_heads) *
+                          config_.head_dim;
+    const int64_t kv_dim = static_cast<int64_t>(config_.num_kv_heads) *
+                           config_.head_dim;
+    switch (stage) {
+      case StageKind::kQkvLinear:
+        return config_.hidden_size * (q_dim + 2 * kv_dim);
+      case StageKind::kOProj:
+        return q_dim * config_.hidden_size;
+      case StageKind::kFfn: {
+        const int64_t gates = config_.gated_ffn ? 2 : 1;
+        return (gates * config_.hidden_size + config_.hidden_size) *
+               config_.ffn_hidden;
+      }
+      default: return 0;  // float stages carry norm gains only (negligible)
+    }
+}
+
+int64_t
+ChunkGraphPlan::StageActivationBytes(StageKind stage, int64_t kv_len) const
+{
+    const int64_t m = chunk_len_;
+    const int64_t hidden = config_.hidden_size;
+    const int64_t q_dim = static_cast<int64_t>(config_.num_heads) *
+                          config_.head_dim;
+    const int64_t kv_dim = static_cast<int64_t>(config_.num_kv_heads) *
+                           config_.head_dim;
+    // NPU buffers are int8 in / int8 out plus fp16 staging: ~3 B per elem.
+    switch (stage) {
+      case StageKind::kAttnNorm:
+      case StageKind::kFfnNorm:
+        return 3 * m * hidden;
+      case StageKind::kQkvLinear:
+        return 3 * (m * hidden + m * (q_dim + 2 * kv_dim));
+      case StageKind::kAttention:
+        // Q + cached K/V (fp16) + score workspace for one head batch.
+        return 2 * (m * q_dim + 2 * kv_len * kv_dim +
+                    m * kv_len * config_.num_heads / 4);
+      case StageKind::kOProj:
+        return 3 * (m * q_dim + m * hidden);
+      case StageKind::kFfn: {
+        const int64_t gates = config_.gated_ffn ? 2 : 1;
+        return 3 * (m * hidden + (gates + 1) * m * config_.ffn_hidden);
+      }
+    }
+    return 0;
+}
+
+NpuGraphDesc
+ChunkGraphPlan::NpuGraphFor(int layer, StageKind stage, int chunk_copy) const
+{
+    LLMNPU_CHECK(StageOnNpu(stage));
+    NpuGraphDesc desc;
+    desc.name = StrFormat("%s.layer%d.%s%s", config_.name.c_str(), layer,
+                          StageName(stage),
+                          chunk_copy >= 0
+                              ? StrFormat(".chunk%d", chunk_copy).c_str()
+                              : "");
+    switch (stage) {
+      case StageKind::kQkvLinear: desc.num_ops = 4; break;  // q,k,v + quant
+      case StageKind::kOProj: desc.num_ops = 3; break;      // mm + (de)quant
+      case StageKind::kFfn:
+        desc.num_ops = config_.gated_ffn ? 6 : 5;  // mms + act + mul + quant
+        break;
+      default: break;
+    }
+    desc.const_bytes = StageWeightBytes(stage);
+    desc.activation_bytes = StageActivationBytes(stage, chunk_len_);
+    desc.input_shape = {chunk_len_, config_.hidden_size};
+    return desc;
+}
+
+std::vector<NpuGraphDesc>
+ChunkGraphPlan::PreparationGraphs(int max_chunks) const
+{
+    std::vector<NpuGraphDesc> graphs;
+    const int copies = share_static_ ? 1 : max_chunks;
+    for (int copy = 0; copy < copies; ++copy) {
+        const int chunk_copy = share_static_ ? -1 : copy;
+        for (int l = 0; l < config_.num_layers; ++l) {
+            for (StageKind stage : {StageKind::kQkvLinear, StageKind::kOProj,
+                                    StageKind::kFfn}) {
+                graphs.push_back(NpuGraphFor(l, stage, chunk_copy));
+            }
+        }
+    }
+    return graphs;
+}
+
+int64_t
+ChunkGraphPlan::GraphMemoryBytes(int num_chunks) const
+{
+    LLMNPU_CHECK_GT(num_chunks, 0);
+    int64_t static_bytes = 0;
+    for (int l = 0; l < config_.num_layers; ++l) {
+        for (int s = 0; s < kStagesPerLayer; ++s) {
+            const auto stage = static_cast<StageKind>(s);
+            if (StageIsDynamic(stage)) continue;
+            static_bytes += StageWeightBytes(stage) +
+                            StageActivationBytes(stage, chunk_len_);
+        }
+    }
+    int64_t dynamic_bytes = 0;
+    for (int c = 0; c < num_chunks; ++c) {
+        const int64_t kv_len = static_cast<int64_t>(c + 1) * chunk_len_;
+        dynamic_bytes += static_cast<int64_t>(config_.num_layers) *
+                         StageActivationBytes(StageKind::kAttention, kv_len);
+    }
+    const int64_t copies = share_static_ ? 1 : num_chunks;
+    return copies * static_bytes + dynamic_bytes;
+}
+
+}  // namespace llmnpu

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Chunk-sharing graph construction (§3.2, Figure 7).
+ *
+ * A transformer block is decomposed into six subgraphs; per the paper's
+ * Qwen1.5-1.8B example this yields 24 x 6 = 144 subgraphs of which the
+ * 24 x 5 = 120 non-attention ones are *static* (depend only on chunk length)
+ * and shared across chunks, while the 24 attention subgraphs are *dynamic*
+ * (depend on the chunk's position, since K/V grow) and exist per chunk.
+ */
+#ifndef LLMNPU_CORE_CHUNK_GRAPH_H
+#define LLMNPU_CORE_CHUNK_GRAPH_H
+
+#include <cstdint>
+#include <vector>
+
+#include "src/model/config.h"
+#include "src/sim/npu_runtime.h"
+
+namespace llmnpu {
+
+/** The six subgraphs of one transformer block, in dataflow order. */
+enum class StageKind : int {
+    kAttnNorm = 0,   ///< float: pre-attention norm + quantize       (CPU/GPU)
+    kQkvLinear = 1,  ///< int8: fused Q/K/V projections              (NPU)
+    kAttention = 2,  ///< float: RoPE + causal attention + dequant   (CPU/GPU)
+    kOProj = 3,      ///< int8: output projection                    (NPU)
+    kFfnNorm = 4,    ///< float: pre-FFN norm + quantize             (CPU/GPU)
+    kFfn = 5,        ///< int8: gate/up/down projections + act       (NPU)
+};
+
+/** Subgraphs per transformer block. */
+inline constexpr int kStagesPerLayer = 6;
+
+/** Short stage name for labels. */
+const char* StageName(StageKind stage);
+
+/** True for the integer subgraphs that execute on the NPU. */
+bool StageOnNpu(StageKind stage);
+
+/**
+ * True for subgraphs whose compute depends on the chunk's *sequence
+ * position* (attention: K/V length grows per chunk) — these cannot be
+ * shared across chunks (Figure 7(c), red ops).
+ */
+bool StageIsDynamic(StageKind stage);
+
+/** Structural plan of the chunked execution of one model. */
+class ChunkGraphPlan
+{
+  public:
+    /**
+     * @param config model architecture.
+     * @param chunk_len fixed chunk length (the paper picks 256, Figure 8).
+     * @param share_static share static subgraphs across chunks (§3.2).
+     */
+    ChunkGraphPlan(const ModelConfig& config, int chunk_len,
+                   bool share_static);
+
+    const ModelConfig& config() const { return config_; }
+    int chunk_len() const { return chunk_len_; }
+    bool share_static() const { return share_static_; }
+
+    /** Number of chunks a prompt splits into (last chunk padded). */
+    int NumChunks(int64_t prompt_len) const;
+
+    /** Total subgraphs per chunk pass (layers x 6; 144 for Qwen1.5-1.8B). */
+    int NumSubgraphs() const;
+
+    /** Shareable subgraphs (layers x 5; 120 for Qwen1.5-1.8B). */
+    int NumSharedSubgraphs() const;
+
+    /** NPU graph description for one block's NPU stage at this chunk size.
+     *  `chunk_copy` >= 0 names a per-chunk replica (no-sharing mode). */
+    NpuGraphDesc NpuGraphFor(int layer, StageKind stage,
+                             int chunk_copy = -1) const;
+
+    /**
+     * All NPU graphs to pre-build at the preparation stage for prompts of
+     * up to `max_chunks` chunks: one set when sharing, `max_chunks` replicas
+     * otherwise.
+     */
+    std::vector<NpuGraphDesc> PreparationGraphs(int max_chunks) const;
+
+    /** INT8 weight bytes of one layer's NPU stage. */
+    int64_t StageWeightBytes(StageKind stage) const;
+
+    /** Activation buffer bytes of one layer's stage at this chunk length
+     *  (kv_len matters only for the attention stage). */
+    int64_t StageActivationBytes(StageKind stage, int64_t kv_len) const;
+
+    /**
+     * Resident graph memory for a prompt of `num_chunks` chunks: weights +
+     * static activation buffers (x num_chunks when not shared) + dynamic
+     * attention buffers (always per chunk). This is the quantity §3.2
+     * reports as "up to 75% (7.2 GB)" saved by sharing.
+     */
+    int64_t GraphMemoryBytes(int num_chunks) const;
+
+  private:
+    ModelConfig config_;
+    int chunk_len_;
+    bool share_static_;
+};
+
+}  // namespace llmnpu
+
+#endif  // LLMNPU_CORE_CHUNK_GRAPH_H

@@ -1,0 +1,280 @@
+#include "src/core/llmnpu_engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/engines/op_cost.h"
+#include "src/sim/calibration.h"
+#include "src/util/check.h"
+
+namespace llmnpu {
+
+namespace {
+
+/** INT8 activation-function throughput on the NPU (LUT-based), elems/s. */
+constexpr double kNpuActLutElemsPerSec = 50e9;
+
+}  // namespace
+
+LlmNpuEngine::LlmNpuEngine(LlmNpuOptions options) : options_(options)
+{
+    LLMNPU_CHECK_GT(options_.chunk_len, 0);
+    LLMNPU_CHECK_GE(options_.pruning_rate, 0.0);
+    LLMNPU_CHECK_LE(options_.pruning_rate, 1.0);
+}
+
+int
+LlmNpuEngine::KeptShadowLinears(const ModelConfig& config) const
+{
+    const int total = static_cast<int>(config.LayerLinears().size()) *
+                      config.num_layers;
+    return static_cast<int>(std::ceil((1.0 - options_.pruning_rate) *
+                                      static_cast<double>(total)));
+}
+
+bool
+LlmNpuEngine::LayerShadowEnabled(const ModelConfig& config, int layer) const
+{
+    // Offline profiling keeps the most important linears; importance is
+    // highest near the network's inputs and outputs (Figure 12), so layers
+    // are ranked by distance to the nearer end.
+    const int linears_per_layer =
+        static_cast<int>(config.LayerLinears().size());
+    const int kept_layers =
+        (KeptShadowLinears(config) + linears_per_layer - 1) /
+        linears_per_layer;
+    const int from_end = std::min(layer, config.num_layers - 1 - layer);
+    // Layers sorted by from_end ascending: ends first. Layer qualifies when
+    // its rank among that ordering is < kept_layers.
+    int rank = 0;
+    for (int l = 0; l < config.num_layers; ++l) {
+        const int other = std::min(l, config.num_layers - 1 - l);
+        if (other < from_end || (other == from_end && l < layer)) ++rank;
+    }
+    return rank < kept_layers;
+}
+
+std::vector<StageTiming>
+LlmNpuEngine::ChunkStageTimings(const ModelConfig& config, const SocSpec& soc,
+                                int chunk_len, int64_t kv_len,
+                                double swap_ms_per_chunk) const
+{
+    const Unit float_unit =
+        options_.use_gpu_float ? Unit::kGpu : Unit::kCpu;
+    const ProcessorModel& fproc = soc.Processor(float_unit);
+    const ProcessorModel& npu = soc.Processor(Unit::kNpu);
+
+    const int64_t m = chunk_len;
+    const int64_t hidden = config.hidden_size;
+    const int64_t q_dim = static_cast<int64_t>(config.num_heads) *
+                          config.head_dim;
+    const int64_t kv_dim = static_cast<int64_t>(config.num_kv_heads) *
+                           config.head_dim;
+    const ExecFormat npu_fmt = options_.enable_shadow
+                                   ? ExecFormat::kInt8PerTensor
+                                   : ExecFormat::kInt8PerGroup;
+
+    // Shadow compensation task pieces (per NPU linear stage): scan the
+    // activations, run the compact float matmul, synchronize the partial
+    // sum back (§3.3).
+    auto shadow_ms = [&](int64_t k, int64_t n) {
+        const int64_t k_out = std::max<int64_t>(
+            1, static_cast<int64_t>(std::lround(
+                   options_.runtime_outlier_frac * static_cast<double>(k))));
+        double ms = fproc.VectorOpMs(static_cast<double>(m * k), 1.0);
+        ms += fproc.MatMulMs({m, k_out, n}, ExecFormat::kFp32, 0, false);
+        // Cold channels fetched from disk overlap the NPU matmul; charge
+        // only the miss-rate-weighted latency.
+        ms += options_.cold_miss_rate *
+              (cal::kDiskLatencyMs +
+               static_cast<double>(k_out * n) / (cal::kDiskReadGBs * 1e9) *
+                   1e3);
+        ms += cal::kShadowSyncMs;
+        return ms;
+    };
+
+    std::vector<StageTiming> timings(
+        static_cast<size_t>(config.num_layers) * kStagesPerLayer);
+    for (int l = 0; l < config.num_layers; ++l) {
+        const bool shadow_on = options_.enable_shadow &&
+                               options_.pruning_rate < 1.0 &&
+                               LayerShadowEnabled(config, l);
+        for (int s = 0; s < kStagesPerLayer; ++s) {
+            const auto stage = static_cast<StageKind>(s);
+            StageTiming t;
+            t.unit = StageOnNpu(stage) ? Unit::kNpu : float_unit;
+            t.shadow_unit = float_unit;
+            switch (stage) {
+              case StageKind::kAttnNorm:
+              case StageKind::kFfnNorm:
+                t.duration_ms =
+                    fproc.VectorOpMs(static_cast<double>(m * hidden), 10.0) +
+                    fproc.VectorOpMs(static_cast<double>(m * hidden), 2.0) +
+                    fproc.DispatchMs();
+                break;
+              case StageKind::kQkvLinear:
+                t.duration_ms =
+                    npu.MatMulMs({m, hidden, q_dim + 2 * kv_dim}, npu_fmt,
+                                 cal::kPerGroupSize,
+                                 options_.square_optimized) +
+                    npu.DispatchMs();
+                if (shadow_on) {
+                    t.shadow_ms = shadow_ms(hidden, q_dim + 2 * kv_dim);
+                }
+                break;
+              case StageKind::kAttention: {
+                double ms = fproc.VectorOpMs(
+                    static_cast<double>(m * (q_dim + kv_dim)), 6.0);
+                ms += fproc.AttentionMs(m, kv_len, config.num_heads,
+                                        config.head_dim);
+                ms += 2.0 * fproc.VectorOpMs(static_cast<double>(m * q_dim),
+                                             2.0);
+                t.duration_ms = ms + fproc.DispatchMs();
+                break;
+              }
+              case StageKind::kOProj:
+                t.duration_ms =
+                    npu.MatMulMs({m, q_dim, hidden}, npu_fmt,
+                                 cal::kPerGroupSize,
+                                 options_.square_optimized) +
+                    npu.DispatchMs();
+                if (shadow_on) t.shadow_ms = shadow_ms(q_dim, hidden);
+                break;
+              case StageKind::kFfn: {
+                const int64_t up_n = (config.gated_ffn ? 2 : 1) *
+                                     config.ffn_hidden;
+                double ms = npu.MatMulMs({m, hidden, up_n}, npu_fmt,
+                                         cal::kPerGroupSize,
+                                         options_.square_optimized);
+                ms += npu.MatMulMs({m, config.ffn_hidden, hidden}, npu_fmt,
+                                   cal::kPerGroupSize,
+                                   options_.square_optimized);
+                ms += static_cast<double>(m * config.ffn_hidden) /
+                      kNpuActLutElemsPerSec * 1e3;
+                // Swapped-out graphs (NPU region overflow on 7B models)
+                // remap on first touch each chunk; spread over FFN stages.
+                ms += swap_ms_per_chunk / config.num_layers;
+                t.duration_ms = ms + npu.DispatchMs();
+                if (shadow_on) {
+                    t.shadow_ms = shadow_ms(hidden, up_n) +
+                                  shadow_ms(config.ffn_hidden, hidden) -
+                                  cal::kShadowSyncMs;  // one merge per stage
+                }
+                break;
+              }
+            }
+            timings[static_cast<size_t>(l * kStagesPerLayer + s)] = t;
+        }
+    }
+    return timings;
+}
+
+LlmNpuEngine::PrefillDetail
+LlmNpuEngine::SimulatePrefill(const ModelConfig& config, const SocSpec& soc,
+                              int prompt_len) const
+{
+    LLMNPU_CHECK_GT(prompt_len, 0);
+    PrefillDetail detail;
+
+    const int chunk_len =
+        options_.enable_chunking ? options_.chunk_len : prompt_len;
+    const bool sharing = options_.enable_chunking && options_.enable_sharing;
+    ChunkGraphPlan plan(config, chunk_len, sharing);
+    const int num_chunks =
+        options_.enable_chunking ? plan.NumChunks(prompt_len) : 1;
+    detail.num_chunks = num_chunks;
+
+    // ---- Preparation: build + optimize the NPU graphs. Resident graphs
+    // are placed FFN-first (§4 optimization (2)); overflow graphs remap
+    // per chunk.
+    NpuRuntime runtime;
+    double prep_ms = runtime.EnvSetupMs();
+    int64_t swapped_bytes = 0;
+    auto graphs = plan.PreparationGraphs(num_chunks);
+    // FFN graphs first: order by descending compute intensity.
+    std::stable_sort(graphs.begin(), graphs.end(),
+                     [](const NpuGraphDesc& a, const NpuGraphDesc& b) {
+                         return a.const_bytes > b.const_bytes;
+                     });
+    for (const auto& desc : graphs) {
+        if (runtime.FitsMemory(desc.const_bytes + desc.activation_bytes)) {
+            prep_ms += runtime.EnsureBuilt(desc);
+        } else {
+            prep_ms += NpuRuntime::CostsFor(desc).TotalPrepareMs();
+            swapped_bytes += desc.const_bytes;
+        }
+    }
+    const double swap_ms_per_chunk =
+        swapped_bytes > 0
+            ? static_cast<double>(swapped_bytes) / (50e9) * 1e3 + 0.3
+            : 0.0;
+
+    // ---- Execution DAG.
+    std::vector<std::vector<StageTiming>> chunk_timings;
+    chunk_timings.reserve(static_cast<size_t>(num_chunks));
+    for (int c = 0; c < num_chunks; ++c) {
+        const int64_t kv_len = static_cast<int64_t>(c + 1) * chunk_len;
+        chunk_timings.push_back(
+            ChunkStageTimings(config, soc, chunk_len, kv_len,
+                              swap_ms_per_chunk));
+    }
+    detail.tasks = BuildPrefillDag(chunk_timings, config.num_layers,
+                                   /*strict_chunk_order=*/!options_.enable_ooo);
+    detail.timeline = RunTimeline(detail.tasks, options_.enable_ooo
+                                                    ? OooPicker()
+                                                    : FifoPicker());
+
+    detail.prepare_ms = prep_ms;
+    detail.prefill_ms = detail.timeline.makespan_ms;
+    if (!options_.enable_chunking) {
+        // Variable-length prompts force a rebuild inside every inference
+        // (§2.3 gap 1): preparation lands on the critical path.
+        detail.prefill_ms += prep_ms;
+    }
+
+    // ---- Memory.
+    const double kept_frac =
+        options_.enable_shadow ? 1.0 - options_.pruning_rate : 0.0;
+    const int64_t shadow_bytes = static_cast<int64_t>(
+        kept_frac * options_.hot_channel_frac *
+        static_cast<double>(config.MatMulParams()) * 4.0);
+    detail.memory_bytes =
+        plan.GraphMemoryBytes(num_chunks) +         // weights + graph buffers
+        config.vocab_size * config.hidden_size +    // int8 embedding
+        KvCacheBytes(config, num_chunks * static_cast<int64_t>(chunk_len)) /
+            2 +                                     // fp16 KV
+        shadow_bytes;
+    return detail;
+}
+
+EngineResult
+LlmNpuEngine::Run(const ModelConfig& config, const SocSpec& soc,
+                  const InferenceRequest& request)
+{
+    PrefillDetail detail = SimulatePrefill(config, soc, request.prompt_len);
+
+    EngineResult result;
+    result.prepare_ms = detail.prepare_ms;
+    result.prefill_ms = detail.prefill_ms;
+    result.prefill_busy_ms = detail.timeline.busy_ms;
+    result.npu_bubble_rate = detail.timeline.BubbleRate(Unit::kNpu);
+    result.memory_bytes = detail.memory_bytes;
+    result.prefill_energy_mj =
+        soc.EnergyMj(detail.timeline.busy_ms, detail.timeline.makespan_ms,
+                     cal::kCpuServicePowerW);
+
+    // Decode on the MLLM CPU backend (or GPU under §4.6 coordination).
+    const Unit decode_unit =
+        options_.use_gpu_float ? Unit::kGpu : Unit::kCpu;
+    const ProcessorModel& dproc = soc.Processor(decode_unit);
+    ExecPolicy decode_policy;
+    decode_policy.linear_format = ExecFormat::kInt8PerTensor;
+    result.decode_ms = DecodeMs(config, dproc, request.prompt_len,
+                                request.output_len, decode_policy);
+    std::array<double, kNumUnits> decode_busy{};
+    decode_busy[static_cast<size_t>(decode_unit)] = result.decode_ms;
+    result.decode_energy_mj = soc.EnergyMj(decode_busy, result.decode_ms);
+    return result;
+}
+
+}  // namespace llmnpu

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The llm.npu inference engine (timing plane): chunk-sharing graphs (§3.2) +
+ * shadow outlier execution (§3.3) + out-of-order subgraph scheduling (§3.4)
+ * on the simulated mobile SoC.
+ *
+ * Feature flags expose the Figure 19 ablation ladder:
+ *   CPU -> naive NPU -> +chunk -> +outlier(shadow) -> +OoO (= full llm.npu)
+ * and the Figure 18 GPU-NPU coordination variant.
+ */
+#ifndef LLMNPU_CORE_LLMNPU_ENGINE_H
+#define LLMNPU_CORE_LLMNPU_ENGINE_H
+
+#include <string>
+#include <vector>
+
+#include "src/core/chunk_graph.h"
+#include "src/core/scheduler.h"
+#include "src/engines/engine.h"
+#include "src/sim/npu_runtime.h"
+
+namespace llmnpu {
+
+/** Configuration of the llm.npu engine. */
+struct LlmNpuOptions {
+    /** Fixed chunk length (Figure 8: 256 is the paper's choice). */
+    int chunk_len = 256;
+    /** §3.2 chunked prefill + prebuilt graphs. When false the whole-prompt
+     *  graph is built and optimized inside every inference (naive NPU). */
+    bool enable_chunking = true;
+    /** §3.2 chunk-sharing (share static subgraphs across chunks). */
+    bool enable_sharing = true;
+    /** §3.3 per-tensor W8A8 + shadow outliers. When false the engine falls
+     *  back to per-group INT8 on the NPU to preserve accuracy. */
+    bool enable_shadow = true;
+    /** §3.4 out-of-order scheduling (else naive in-order overlap). */
+    bool enable_ooo = true;
+    /** Fraction of least-important linears with the shadow path pruned. */
+    double pruning_rate = 0.85;
+    /** Run float subgraphs + decode on the GPU instead of the CPU (§4.6). */
+    bool use_gpu_float = false;
+    /** §4 optimization (1): profile equivalent square input shapes. */
+    bool square_optimized = true;
+    /** Mean fraction of input channels shadow-extracted per linear call
+     *  (Figure 10: 0.1-0.3%). */
+    double runtime_outlier_frac = 0.002;
+    /** Fraction of channels whose shadow weights stay resident (Fig 11). */
+    double hot_channel_frac = 0.03;
+    /** Extracted channels missing the resident set (disk fetch, §3.3). */
+    double cold_miss_rate = 0.05;
+    /** Display label. */
+    std::string label = "llm.npu (Ours)";
+};
+
+/** llm.npu on the simulated SoC. */
+class LlmNpuEngine : public InferenceEngine
+{
+  public:
+    explicit LlmNpuEngine(LlmNpuOptions options = LlmNpuOptions());
+
+    std::string Name() const override { return options_.label; }
+    EngineResult Run(const ModelConfig& config, const SocSpec& soc,
+                     const InferenceRequest& request) override;
+
+    const LlmNpuOptions& options() const { return options_; }
+
+    /** Full prefill simulation detail (timeline + tasks) for analyses. */
+    struct PrefillDetail {
+        std::vector<SimTask> tasks;
+        TimelineResult timeline;
+        double prepare_ms = 0.0;   ///< one-time graph prebuild (+ env setup)
+        double prefill_ms = 0.0;   ///< execution (includes prep when naive)
+        int num_chunks = 0;
+        int64_t memory_bytes = 0;
+    };
+    PrefillDetail SimulatePrefill(const ModelConfig& config,
+                                  const SocSpec& soc, int prompt_len) const;
+
+    /** Per-stage execution timings for one chunk (used by SimulatePrefill
+     *  and the chunk-length study of Figure 8). */
+    std::vector<StageTiming> ChunkStageTimings(const ModelConfig& config,
+                                               const SocSpec& soc,
+                                               int chunk_len, int64_t kv_len,
+                                               double swap_ms_per_chunk) const;
+
+  private:
+    /** Shadow-enabled linear count given the pruning rate. */
+    int KeptShadowLinears(const ModelConfig& config) const;
+
+    /** Whether layer `layer`'s linears rank among the kept (important)
+     *  set; mirrors Figure 12's "ends of the network matter most". */
+    bool LayerShadowEnabled(const ModelConfig& config, int layer) const;
+
+    LlmNpuOptions options_;
+};
+
+}  // namespace llmnpu
+
+#endif  // LLMNPU_CORE_LLMNPU_ENGINE_H

@@ -1,0 +1,176 @@
+#include "src/core/scheduler.h"
+
+#include <limits>
+
+#include "src/util/check.h"
+#include "src/util/format.h"
+
+namespace llmnpu {
+
+std::vector<SimTask>
+BuildPrefillDag(const std::vector<std::vector<StageTiming>>& timings,
+                int num_layers, bool strict_chunk_order)
+{
+    const int num_chunks = static_cast<int>(timings.size());
+    LLMNPU_CHECK_GT(num_chunks, 0);
+    const int stages_per_chunk = num_layers * kStagesPerLayer;
+
+    std::vector<SimTask> tasks;
+    // producers[c][s]: every task that must finish before stage s of chunk
+    // c is consumable (the stage itself plus its shadow task, §3.3).
+    std::vector<std::vector<std::vector<int>>> producers(
+        static_cast<size_t>(num_chunks),
+        std::vector<std::vector<int>>(static_cast<size_t>(stages_per_chunk)));
+
+    auto append_deps = [&](SimTask& task, int c, int s) {
+        for (int id : producers[static_cast<size_t>(c)]
+                                [static_cast<size_t>(s)]) {
+            task.deps.push_back(id);
+        }
+    };
+
+    for (int c = 0; c < num_chunks; ++c) {
+        LLMNPU_CHECK_EQ(static_cast<int>(timings[static_cast<size_t>(c)]
+                                             .size()),
+                        stages_per_chunk);
+        for (int s = 0; s < stages_per_chunk; ++s) {
+            const StageTiming& timing =
+                timings[static_cast<size_t>(c)][static_cast<size_t>(s)];
+            const int layer = s / kStagesPerLayer;
+            const auto stage = static_cast<StageKind>(s % kStagesPerLayer);
+
+            SimTask task;
+            task.label = StrFormat("c%d.l%d.%s", c, layer, StageName(stage));
+            task.unit = timing.unit;
+            task.duration_ms = timing.duration_ms;
+            task.chunk = c;
+            task.stage = s;
+
+            // Intra-chunk dependency (Equation 3).
+            if (s > 0) append_deps(task, c, s - 1);
+            // Cross-chunk dependency (Equation 2): attention of chunk c
+            // additionally needs the previous stage (QKV, the K/V producer
+            // of the same layer) of every earlier chunk.
+            if (StageIsDynamic(stage) && s > 0) {
+                for (int prev = 0; prev < c; ++prev) {
+                    append_deps(task, prev, s - 1);
+                }
+            }
+            // Naive overlap (Figure 13(a)): chunks strictly follow the
+            // prompt sequence — chunk c starts only after chunk c-1 fully
+            // completes, leaving the NPU idle during each chunk's float
+            // stages. Out-of-order execution drops this constraint.
+            if (strict_chunk_order && c > 0 && s == 0) {
+                append_deps(task, c - 1, stages_per_chunk - 1);
+            }
+
+            const int stage_id = static_cast<int>(tasks.size());
+            tasks.push_back(std::move(task));
+            auto& stage_producers =
+                producers[static_cast<size_t>(c)][static_cast<size_t>(s)];
+            stage_producers.push_back(stage_id);
+
+            // Shadow outlier task: runs on the float unit in parallel with
+            // the NPU stage with the same dependencies; consumers of this
+            // stage wait for both halves (the reduced-sum merge, §3.3).
+            if (timing.shadow_ms > 0.0) {
+                SimTask shadow;
+                shadow.label = StrFormat("c%d.l%d.%s.shadow", c, layer,
+                                         StageName(stage));
+                shadow.unit = timing.shadow_unit;
+                shadow.duration_ms = timing.shadow_ms;
+                shadow.chunk = c;
+                shadow.stage = s;
+                shadow.deps = tasks[static_cast<size_t>(stage_id)].deps;
+                const int shadow_id = static_cast<int>(tasks.size());
+                tasks.push_back(std::move(shadow));
+                stage_producers.push_back(shadow_id);
+            }
+        }
+    }
+    return tasks;
+}
+
+namespace {
+
+/** Total duration of consumers of `id` that become ready when it finishes
+ *  and that run on `unit` (the set S of Equation 5, filtered by unit). */
+double
+UnlockedMs(int id, Unit unit, const SchedContext& ctx)
+{
+    const auto& tasks = ctx.tasks();
+    double unlocked_ms = 0.0;
+    for (int consumer : ctx.Consumers(id)) {
+        if (ctx.RemainingDeps(consumer) == 1 &&
+            tasks[static_cast<size_t>(consumer)].unit == unit) {
+            unlocked_ms += tasks[static_cast<size_t>(consumer)].duration_ms;
+        }
+    }
+    return unlocked_ms;
+}
+
+/** Earliest-stage-first (dataflow order), ties by chunk. */
+int
+EarliestStage(const std::vector<int>& ready, const SchedContext& ctx)
+{
+    const auto& tasks = ctx.tasks();
+    int best_id = ready.front();
+    for (int id : ready) {
+        const auto& task = tasks[static_cast<size_t>(id)];
+        const auto& best = tasks[static_cast<size_t>(best_id)];
+        if (task.stage < best.stage ||
+            (task.stage == best.stage && task.chunk < best.chunk)) {
+            best_id = id;
+        }
+    }
+    return best_id;
+}
+
+}  // namespace
+
+TaskPicker
+OooPicker()
+{
+    return [](Unit unit, const std::vector<int>& ready,
+              const SchedContext& ctx) {
+        if (unit == Unit::kNpu) return EarliestStage(ready, ctx);
+        // Equation 5, CPU/GPU side: run the subgraph whose completion
+        // unlocks the most NPU work — feed the critical path.
+        double best_c = -std::numeric_limits<double>::max();
+        int best_id = ready.front();
+        for (int id : ready) {
+            const double c_value = UnlockedMs(id, Unit::kNpu, ctx);
+            if (c_value > best_c) {
+                best_c = c_value;
+                best_id = id;
+            }
+        }
+        return best_id;
+    };
+}
+
+TaskPicker
+PaperEq5Picker()
+{
+    return [](Unit unit, const std::vector<int>& ready,
+              const SchedContext& ctx) {
+        double best_c = -std::numeric_limits<double>::max();
+        int best_id = ready.front();
+        for (int id : ready) {
+            // C = +sum(T_i in S) for CPU/GPU subgraphs, -sum for NPU ones
+            // (Equation 5); S taken over the opposite processor class.
+            const double c_value =
+                unit == Unit::kNpu
+                    ? -(UnlockedMs(id, Unit::kCpu, ctx) +
+                        UnlockedMs(id, Unit::kGpu, ctx))
+                    : UnlockedMs(id, Unit::kNpu, ctx);
+            if (c_value > best_c) {
+                best_c = c_value;
+                best_id = id;
+            }
+        }
+        return best_id;
+    };
+}
+
+}  // namespace llmnpu

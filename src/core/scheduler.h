@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Out-of-order subgraph scheduling (§3.4).
+ *
+ * Chunked prefill yields a DAG of subgraph tasks with
+ *  - cross-chunk dependencies (Equation 2): G(i,j) needs G(0..i, j-1) when
+ *    subgraph j is an attention stage (it reads previous chunks' K/V), and
+ *  - intra-chunk dependencies (Equation 3): G(i,j) needs G(i, j-1).
+ *
+ * Finding the makespan-optimal order is NP-hard (reducible to TSP), so
+ * llm.npu uses an online heuristic: pick the ready subgraph g with maximal
+ * C(g) (Equation 5) — the total NPU time unlocked by completing g when g is
+ * on the CPU/GPU, or its negative when g is on the NPU — because the NPU is
+ * the critical path and stalls there dominate latency.
+ */
+#ifndef LLMNPU_CORE_SCHEDULER_H
+#define LLMNPU_CORE_SCHEDULER_H
+
+#include <vector>
+
+#include "src/core/chunk_graph.h"
+#include "src/sim/timeline.h"
+
+namespace llmnpu {
+
+/** Duration and placement of one (chunk, layer, stage) subgraph. */
+struct StageTiming {
+    double duration_ms = 0.0;
+    Unit unit = Unit::kCpu;
+    /** Shadow outlier task overlapped with this (NPU) stage; <= 0 = none. */
+    double shadow_ms = 0.0;
+    /** Unit the shadow task runs on (the float processor). */
+    Unit shadow_unit = Unit::kCpu;
+};
+
+/**
+ * Builds the prefill task DAG for `num_chunks` chunks.
+ *
+ * @param timings indexed [chunk][layer * kStagesPerLayer + stage].
+ * @param strict_chunk_order when true, every stage additionally depends on
+ *        the same stage of the previous chunk — the paper's "naive
+ *        overlapping" that strictly follows the prompt's chunk sequence
+ *        (Figure 13(a)). Out-of-order execution drops this constraint.
+ * @return tasks ready for RunTimeline; shadow tasks are interleaved after
+ *         their NPU stage and gate the next stage (the reduced-sum merge).
+ */
+std::vector<SimTask> BuildPrefillDag(
+    const std::vector<std::vector<StageTiming>>& timings, int num_layers,
+    bool strict_chunk_order = false);
+
+/**
+ * The out-of-order picker used by llm.npu. On the CPU/GPU it applies
+ * Equation 5 exactly: run the ready subgraph unlocking the most NPU work.
+ * On the NPU it advances the earliest pending stage (dataflow order),
+ * which keeps leading chunks ahead so trailing chunks' float stages stay
+ * hidden. Microsecond-scale per decision (bench_scheduler_overhead).
+ *
+ * Reproduction note: the paper's literal NPU-side rule (pick the subgraph
+ * whose unlocked set S has the *shortest* execution time, the negative
+ * branch of Equation 5) schedules measurably worse in our simulator —
+ * PaperEq5Picker() keeps it for comparison (bench_fig13_bubble_rate).
+ */
+TaskPicker OooPicker();
+
+/** Equation 5 applied literally on both processor classes. */
+TaskPicker PaperEq5Picker();
+
+}  // namespace llmnpu
+
+#endif  // LLMNPU_CORE_SCHEDULER_H

@@ -1,0 +1,130 @@
+#include "src/core/shadow_executor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/tensor/matmul.h"
+#include "src/tensor/ops.h"
+
+namespace llmnpu {
+
+NpuShadowExecutor::NpuShadowExecutor(const ModelWeights& weights,
+                                     const OutlierProfile& profile,
+                                     double pruning_rate)
+    : weights_(weights), profile_(profile), pruning_rate_(pruning_rate)
+{
+    const auto& config = weights.config;
+    prepared_.resize(static_cast<size_t>(config.num_layers));
+    for (int l = 0; l < config.num_layers; ++l) {
+        prepared_[static_cast<size_t>(l)].resize(7);
+        for (const auto& spec : config.LayerLinears()) {
+            PreparedLinear pl;
+            const Tensor& w = weights.Linear(l, spec.kind);
+            pl.npu_weights = QuantizePerColumn(w);
+            pl.w_deq = DequantizePerColumn(pl.npu_weights);
+            pl.shadow_enabled =
+                profile.ShadowEnabled(l, spec.kind, pruning_rate);
+            pl.is_hot.assign(static_cast<size_t>(spec.k), false);
+            for (int hot : profile.Stats(l, spec.kind).hot_channels) {
+                pl.is_hot[static_cast<size_t>(hot)] = true;
+                ++pl.hot_rows;
+            }
+            prepared_[static_cast<size_t>(l)]
+                     [static_cast<size_t>(LinearKindIndex(spec.kind))] =
+                std::move(pl);
+        }
+    }
+}
+
+Tensor
+NpuShadowExecutor::Forward(int layer, LinearKind kind, const Tensor& x)
+{
+    auto& pl = prepared_[static_cast<size_t>(layer)]
+                        [static_cast<size_t>(LinearKindIndex(kind))];
+    const auto& op = profile_.Stats(layer, kind);
+    ++stats_.linear_calls;
+
+    const float s = op.clip_scale;
+    const float inv_s = 1.0f / s;
+    const int64_t m = x.Rows(), k = x.Cols();
+
+    // NPU part: per-tensor quantize with the offline clip scale.
+    Tensor x_q(x.shape(), DType::kI8);
+    {
+        const float* px = x.Data<float>();
+        int8_t* pq = x_q.Data<int8_t>();
+        for (int64_t i = 0; i < x.NumElements(); ++i) {
+            pq[i] = static_cast<int8_t>(std::clamp(
+                std::nearbyint(px[i] * inv_s), -127.0f, 127.0f));
+        }
+    }
+    Tensor y = MatMulW8A8PerTensor(x_q, s, pl.npu_weights.q,
+                                   pl.npu_weights.scales);
+
+    if (!pl.shadow_enabled) return y;
+
+    // Shadow part: extract the channels whose values exceeded the clip and
+    // compute the residual x - s*q at float precision on the CPU.
+    const float clip = op.ClipValue();
+    std::vector<int> extracted;
+    {
+        const float* px = x.Data<float>();
+        for (int64_t c = 0; c < k; ++c) {
+            for (int64_t r = 0; r < m; ++r) {
+                if (std::abs(px[r * k + c]) > clip) {
+                    extracted.push_back(static_cast<int>(c));
+                    break;
+                }
+            }
+        }
+    }
+    if (extracted.empty()) return y;
+
+    ++stats_.shadow_calls;
+    stats_.extracted_channels += static_cast<int64_t>(extracted.size());
+    for (int c : extracted) {
+        if (pl.is_hot[static_cast<size_t>(c)]) {
+            ++stats_.hot_hits;
+        } else {
+            ++stats_.cold_misses;
+        }
+    }
+
+    // Compact residual tensor over the extracted channels.
+    Tensor residual({m, static_cast<int64_t>(extracted.size())}, DType::kF32);
+    {
+        const float* px = x.Data<float>();
+        const int8_t* pq = x_q.Data<int8_t>();
+        float* pr = residual.Data<float>();
+        for (int64_t r = 0; r < m; ++r) {
+            for (size_t i = 0; i < extracted.size(); ++i) {
+                const int64_t c = extracted[i];
+                pr[r * static_cast<int64_t>(extracted.size()) +
+                   static_cast<int64_t>(i)] =
+                    px[r * k + c] - s * static_cast<float>(pq[r * k + c]);
+            }
+        }
+    }
+    Tensor y_shadow = MatMulRowSubset(residual, pl.w_deq, extracted);
+    AddInPlace(y, y_shadow);
+    return y;
+}
+
+int64_t
+NpuShadowExecutor::ResidentShadowWeightBytes() const
+{
+    int64_t bytes = 0;
+    const auto& config = weights_.config;
+    for (int l = 0; l < config.num_layers; ++l) {
+        for (const auto& spec : config.LayerLinears()) {
+            const auto& pl = prepared_[static_cast<size_t>(l)]
+                                      [static_cast<size_t>(
+                                          LinearKindIndex(spec.kind))];
+            if (!pl.shadow_enabled) continue;
+            bytes += pl.hot_rows * spec.n * 4;  // f32 rows for hot channels
+        }
+    }
+    return bytes;
+}
+
+}  // namespace llmnpu

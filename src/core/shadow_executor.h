@@ -1,0 +1,87 @@
+/**
+ * @file
+ * llm.npu's quantized linear executor: NPU-friendly per-tensor W8A8 with
+ * shadow outlier execution (§3.3, Equation 1).
+ *
+ * Numerically this computes
+ *
+ *   y = [ clamp(round(x/s), -127, 127) (i) W_q ] * s            on the NPU
+ *     + [ extract(x - s * clamp(round(x/s))) (f) W_deq ]        on the CPU
+ *
+ * where (i) is the INT8 per-tensor matmul and (f) a compact float matmul
+ * over only the channels whose activations exceeded the clip. With the
+ * shadow term enabled the outlier channels are computed at float precision;
+ * pruned layers simply clip them (the accuracy-speed dial of Figure 16).
+ */
+#ifndef LLMNPU_CORE_SHADOW_EXECUTOR_H
+#define LLMNPU_CORE_SHADOW_EXECUTOR_H
+
+#include <vector>
+
+#include "src/core/outlier_profile.h"
+#include "src/tensor/quantize.h"
+
+namespace llmnpu {
+
+/** Runtime counters of shadow extraction (drives the timing plane and the
+ *  Figure 10 reproduction). */
+struct ShadowRuntimeStats {
+    int64_t linear_calls = 0;
+    int64_t shadow_calls = 0;       ///< calls where the shadow path ran
+    int64_t extracted_channels = 0; ///< compact-tensor channels, total
+    int64_t hot_hits = 0;           ///< extracted channels in the hot set
+    int64_t cold_misses = 0;        ///< extracted channels fetched from disk
+
+    double MeanExtractedPerShadowCall() const
+    {
+        return shadow_calls ? static_cast<double>(extracted_channels) /
+                                  static_cast<double>(shadow_calls)
+                            : 0.0;
+    }
+};
+
+/** The llm.npu linear executor (preparation output of Figure 6). */
+class NpuShadowExecutor : public LinearExecutor
+{
+  public:
+    /**
+     * @param weights fp32 master weights (quantized per-column at prepare).
+     * @param profile offline outlier profile (clip scales, hot channels,
+     *        importance ranks).
+     * @param pruning_rate fraction of least-important linears whose shadow
+     *        path is disabled (paper default 0.85).
+     */
+    NpuShadowExecutor(const ModelWeights& weights,
+                      const OutlierProfile& profile, double pruning_rate);
+
+    Tensor Forward(int layer, LinearKind kind, const Tensor& x) override;
+    std::string Name() const override { return "llm.npu"; }
+
+    const ShadowRuntimeStats& stats() const { return stats_; }
+    void ResetStats() { stats_ = ShadowRuntimeStats{}; }
+
+    double pruning_rate() const { return pruning_rate_; }
+
+    /** Resident shadow weight bytes: f32 rows for hot channels of unpruned
+     *  linears (the Figure 17 "Ours-Outliers" black segment). */
+    int64_t ResidentShadowWeightBytes() const;
+
+  private:
+    struct PreparedLinear {
+        PerColumnWeights npu_weights;  ///< int8 + per-column scales
+        Tensor w_deq;                  ///< dequantized copy for the shadow term
+        bool shadow_enabled = false;
+        std::vector<bool> is_hot;      ///< per input channel
+        int64_t hot_rows = 0;
+    };
+
+    const ModelWeights& weights_;
+    const OutlierProfile& profile_;
+    double pruning_rate_;
+    std::vector<std::vector<PreparedLinear>> prepared_;  // [layer][kind]
+    ShadowRuntimeStats stats_;
+};
+
+}  // namespace llmnpu
+
+#endif  // LLMNPU_CORE_SHADOW_EXECUTOR_H

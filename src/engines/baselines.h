@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The baseline engines of §4.1: llama.cpp (CPU, per-group INT8), MNN (CPU,
+ * per-tensor INT8), TFLite (GPU or CPU, INT8 weights / FP16 compute),
+ * MLC-LLM (GPU compiler), PowerInfer-V2 (NPU prefill), plus the naive
+ * direct-NPU-offload strawman of Figure 19.
+ *
+ * Each engine is characterized by where it runs matmuls, how it quantizes,
+ * its kernel quality, and its graph-preparation behaviour — the axes the
+ * simulator calibrates against the paper's published measurements.
+ */
+#ifndef LLMNPU_ENGINES_BASELINES_H
+#define LLMNPU_ENGINES_BASELINES_H
+
+#include <memory>
+#include <vector>
+
+#include "src/engines/engine.h"
+#include "src/engines/op_cost.h"
+
+namespace llmnpu {
+
+/** llama.cpp on mobile CPU: per-group (K-Quant) INT8, whole-prompt pass. */
+class LlamaCppEngine : public InferenceEngine
+{
+  public:
+    std::string Name() const override { return "llama.cpp-CPU"; }
+    EngineResult Run(const ModelConfig& config, const SocSpec& soc,
+                     const InferenceRequest& request) override;
+};
+
+/** MNN on mobile CPU: per-tensor INT8 with hand-tuned kernels. */
+class MnnCpuEngine : public InferenceEngine
+{
+  public:
+    std::string Name() const override { return "MNN-CPU"; }
+    bool SupportsModel(const ModelConfig& config) const override;
+    EngineResult Run(const ModelConfig& config, const SocSpec& soc,
+                     const InferenceRequest& request) override;
+};
+
+/** TFLite with the GPU (or CPU/XNNPack) delegate: INT8 weights dequantized
+ *  to FP16 compute, static graphs padded to fixed buckets. */
+class TfliteEngine : public InferenceEngine
+{
+  public:
+    explicit TfliteEngine(Unit unit = Unit::kGpu);
+
+    std::string Name() const override;
+    bool SupportsModel(const ModelConfig& config) const override;
+    EngineResult Run(const ModelConfig& config, const SocSpec& soc,
+                     const InferenceRequest& request) override;
+
+    /** Prompt padded up to the graph bucket sizes {64,128,...,2048}. */
+    static int PaddedPromptLen(int prompt_len);
+
+  private:
+    Unit unit_;
+};
+
+/** MLC-LLM on mobile GPU: FP16 kernels whose throughput does not scale
+ *  with batch (calibrated to Table 5: ~0.12 TFLOPS effective). */
+class MlcGpuEngine : public InferenceEngine
+{
+  public:
+    std::string Name() const override { return "MLC-GPU"; }
+    EngineResult Run(const ModelConfig& config, const SocSpec& soc,
+                     const InferenceRequest& request) override;
+};
+
+/** PowerInfer-V2: chunked NPU prefill with per-group quantization, flat
+ *  shapes and a coarse NPU/CPU pipeline (reported-data calibration: llm.npu
+ *  is 3.28-5.32x faster at 1024-token prompts). */
+class PowerInferV2Engine : public InferenceEngine
+{
+  public:
+    std::string Name() const override { return "PowerInfer-V2-NPU"; }
+    bool SupportsModel(const ModelConfig& config) const override;
+    EngineResult Run(const ModelConfig& config, const SocSpec& soc,
+                     const InferenceRequest& request) override;
+};
+
+/** Direct NPU offload (Figure 19 second bar): whole-prompt graph rebuilt
+ *  and re-optimized inside every inference, per-group INT8 linears, FP16
+ *  attention on the NPU. */
+class NaiveNpuEngine : public InferenceEngine
+{
+  public:
+    std::string Name() const override { return "Naive-NPU"; }
+    EngineResult Run(const ModelConfig& config, const SocSpec& soc,
+                     const InferenceRequest& request) override;
+};
+
+/** All paper baselines (not including llm.npu), for the benchmark grids. */
+std::vector<std::unique_ptr<InferenceEngine>> MakePaperBaselines();
+
+}  // namespace llmnpu
+
+#endif  // LLMNPU_ENGINES_BASELINES_H

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Common interface of every simulated inference engine: the five baselines
+ * of §4.1 (llama.cpp, MNN, TFLite, MLC-LLM, PowerInfer-V2) plus llm.npu
+ * itself (src/core/llmnpu_engine.h).
+ *
+ * Engines price a (model, device, request) triple: prefill latency, decode
+ * latency, energy, and memory — the four metrics of §4.1.
+ */
+#ifndef LLMNPU_ENGINES_ENGINE_H
+#define LLMNPU_ENGINES_ENGINE_H
+
+#include <array>
+#include <memory>
+#include <string>
+
+#include "src/model/config.h"
+#include "src/sim/soc.h"
+
+namespace llmnpu {
+
+/** One inference: a prompt and the tokens to decode after it. */
+struct InferenceRequest {
+    int prompt_len = 0;
+    int output_len = 1;
+};
+
+/** Simulated outcome of one inference. */
+struct EngineResult {
+    /** One-time preparation latency (quantization, graph build/optimize).
+     *  Amortized engines (llm.npu, TFLite) pay this before serving; the
+     *  naive NPU path pays it per inference (it lands in prefill_ms). */
+    double prepare_ms = 0.0;
+    double prefill_ms = 0.0;
+    double decode_ms = 0.0;
+    /** Execution energy over prefill (Figure 15's metric). */
+    double prefill_energy_mj = 0.0;
+    double decode_energy_mj = 0.0;
+    /** Peak inference memory footprint. */
+    int64_t memory_bytes = 0;
+    /** Busy ms per processor during prefill (diagnostics). */
+    std::array<double, kNumUnits> prefill_busy_ms{};
+    /** NPU idle fraction within its active span (Figure 13). */
+    double npu_bubble_rate = 0.0;
+
+    double EndToEndMs() const { return prefill_ms + decode_ms; }
+    double PrefillTokensPerSec(int prompt_len) const
+    {
+        return prompt_len / (prefill_ms / 1e3);
+    }
+};
+
+/** A simulated inference engine. */
+class InferenceEngine
+{
+  public:
+    virtual ~InferenceEngine() = default;
+
+    /** Engine name as the paper abbreviates it ("llama.cpp-CPU", ...). */
+    virtual std::string Name() const = 0;
+
+    /** Whether the engine supports a model (§4.1: baselines often support
+     *  only a subset of the five LLMs). */
+    virtual bool SupportsModel(const ModelConfig& config) const
+    {
+        (void)config;
+        return true;
+    }
+
+    /** Simulates one inference. */
+    virtual EngineResult Run(const ModelConfig& config, const SocSpec& soc,
+                             const InferenceRequest& request) = 0;
+};
+
+}  // namespace llmnpu
+
+#endif  // LLMNPU_ENGINES_ENGINE_H

@@ -1,0 +1,223 @@
+#include "src/model/config.h"
+
+#include "src/util/check.h"
+
+namespace llmnpu {
+
+std::string
+LinearKindName(LinearKind kind)
+{
+    switch (kind) {
+      case LinearKind::kWq: return "q_proj";
+      case LinearKind::kWk: return "k_proj";
+      case LinearKind::kWv: return "v_proj";
+      case LinearKind::kWo: return "o_proj";
+      case LinearKind::kFfnGate: return "gate_proj";
+      case LinearKind::kFfnUp: return "up_proj";
+      case LinearKind::kFfnDown: return "down_proj";
+    }
+    return "?";
+}
+
+std::vector<LinearSpec>
+ModelConfig::LayerLinears() const
+{
+    const int64_t q_dim = static_cast<int64_t>(num_heads) * head_dim;
+    const int64_t kv_dim = static_cast<int64_t>(num_kv_heads) * head_dim;
+    std::vector<LinearSpec> specs = {
+        {LinearKind::kWq, hidden_size, q_dim},
+        {LinearKind::kWk, hidden_size, kv_dim},
+        {LinearKind::kWv, hidden_size, kv_dim},
+        {LinearKind::kWo, q_dim, hidden_size},
+    };
+    if (gated_ffn) {
+        specs.push_back({LinearKind::kFfnGate, hidden_size, ffn_hidden});
+    }
+    specs.push_back({LinearKind::kFfnUp, hidden_size, ffn_hidden});
+    specs.push_back({LinearKind::kFfnDown, ffn_hidden, hidden_size});
+    return specs;
+}
+
+int64_t
+ModelConfig::LayerLinearParams() const
+{
+    int64_t total = 0;
+    for (const auto& spec : LayerLinears()) total += spec.k * spec.n;
+    return total;
+}
+
+int64_t
+ModelConfig::MatMulParams() const
+{
+    return LayerLinearParams() * num_layers;
+}
+
+int64_t
+ModelConfig::TotalParams() const
+{
+    // Embedding (lm_head tied) + per-layer norms + final norm.
+    const int64_t norm_params =
+        (norm == NormKind::kLayerNorm ? 2 : 1) * hidden_size;
+    return MatMulParams() + vocab_size * hidden_size +
+           (2 * num_layers + 1) * norm_params;
+}
+
+ModelConfig
+Qwen15_1_8B()
+{
+    ModelConfig c;
+    c.name = "Qwen1.5-1.8B";
+    c.hidden_size = 2048;
+    c.num_layers = 24;
+    c.num_heads = 16;
+    c.num_kv_heads = 16;
+    c.head_dim = 128;
+    c.ffn_hidden = 5504;
+    c.vocab_size = 151936;
+    c.max_context = 32768;
+    c.norm = NormKind::kRMSNorm;
+    c.act = ActKind::kSiLU;
+    c.gated_ffn = true;
+    return c;
+}
+
+ModelConfig
+Gemma2B()
+{
+    ModelConfig c;
+    c.name = "Gemma-2B";
+    c.hidden_size = 2048;
+    c.num_layers = 18;
+    c.num_heads = 8;
+    c.num_kv_heads = 1;
+    c.head_dim = 256;
+    c.ffn_hidden = 16384;
+    c.vocab_size = 256000;
+    c.max_context = 8192;
+    c.norm = NormKind::kRMSNorm;
+    c.act = ActKind::kGeLU;
+    c.gated_ffn = true;
+    return c;
+}
+
+ModelConfig
+Phi2_2_7B()
+{
+    ModelConfig c;
+    c.name = "Phi-2-2.7B";
+    c.hidden_size = 2560;
+    c.num_layers = 32;
+    c.num_heads = 32;
+    c.num_kv_heads = 32;
+    c.head_dim = 80;
+    c.ffn_hidden = 10240;
+    c.vocab_size = 51200;
+    c.max_context = 2048;
+    c.norm = NormKind::kLayerNorm;
+    c.act = ActKind::kGeLU;
+    c.gated_ffn = false;
+    return c;
+}
+
+ModelConfig
+Llama2_7B()
+{
+    ModelConfig c;
+    c.name = "LlaMA-2-7B";
+    c.hidden_size = 4096;
+    c.num_layers = 32;
+    c.num_heads = 32;
+    c.num_kv_heads = 32;
+    c.head_dim = 128;
+    c.ffn_hidden = 11008;
+    c.vocab_size = 32000;
+    c.max_context = 4096;
+    c.norm = NormKind::kRMSNorm;
+    c.act = ActKind::kSiLU;
+    c.gated_ffn = true;
+    return c;
+}
+
+ModelConfig
+Mistral7B()
+{
+    ModelConfig c;
+    c.name = "Mistral-7B";
+    c.hidden_size = 4096;
+    c.num_layers = 32;
+    c.num_heads = 32;
+    c.num_kv_heads = 8;
+    c.head_dim = 128;
+    c.ffn_hidden = 14336;
+    c.vocab_size = 32000;
+    c.max_context = 32768;
+    c.norm = NormKind::kRMSNorm;
+    c.act = ActKind::kSiLU;
+    c.gated_ffn = true;
+    return c;
+}
+
+std::vector<ModelConfig>
+PaperModels()
+{
+    return {Qwen15_1_8B(), Gemma2B(), Phi2_2_7B(), Llama2_7B(), Mistral7B()};
+}
+
+ModelConfig
+ModelByName(const std::string& name)
+{
+    for (const auto& c : PaperModels()) {
+        if (c.name == name) return c;
+    }
+    LLMNPU_FATAL_IF(true, "unknown model: " + name);
+}
+
+ModelConfig
+TinyTestConfig()
+{
+    ModelConfig c;
+    c.name = "tiny-test";
+    c.hidden_size = 64;
+    c.num_layers = 2;
+    c.num_heads = 4;
+    c.num_kv_heads = 2;
+    c.head_dim = 16;
+    c.ffn_hidden = 128;
+    c.vocab_size = 256;
+    c.max_context = 512;
+    c.norm = NormKind::kRMSNorm;
+    c.act = ActKind::kSiLU;
+    c.gated_ffn = true;
+    return c;
+}
+
+ModelConfig
+ScaledProxy(const ModelConfig& base, int64_t hidden, int num_layers,
+            int64_t vocab)
+{
+    LLMNPU_CHECK_GT(hidden, 0);
+    ModelConfig c = base;
+    c.name = base.name + "-proxy";
+    const double ffn_ratio = static_cast<double>(base.ffn_hidden) /
+                             static_cast<double>(base.hidden_size);
+    c.hidden_size = hidden;
+    c.num_layers = num_layers;
+    // Preserve the MHA/GQA/MQA ratio with a reduced head count.
+    const int group = base.num_heads / base.num_kv_heads;
+    c.num_heads = 4 * group;
+    c.num_kv_heads = 4;
+    while (hidden % c.num_heads != 0 && c.num_heads > group) {
+        c.num_heads -= group;
+        c.num_kv_heads -= 1;
+    }
+    LLMNPU_CHECK_EQ(hidden % c.num_heads, 0);
+    c.head_dim = static_cast<int>(hidden / c.num_heads);
+    c.ffn_hidden = static_cast<int64_t>(ffn_ratio * static_cast<double>(hidden));
+    // Round FFN width to a multiple of 32 so per-group quantizers apply.
+    c.ffn_hidden = (c.ffn_hidden + 31) / 32 * 32;
+    c.vocab_size = vocab;
+    c.max_context = 2048;
+    return c;
+}
+
+}  // namespace llmnpu

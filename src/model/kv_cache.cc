@@ -1,0 +1,72 @@
+#include "src/model/kv_cache.h"
+
+#include <cstring>
+
+#include "src/util/check.h"
+
+namespace llmnpu {
+
+KvCache::KvCache(int num_layers, int64_t kv_dim)
+    : kv_dim_(kv_dim),
+      k_(static_cast<size_t>(num_layers)),
+      v_(static_cast<size_t>(num_layers))
+{
+    LLMNPU_CHECK_GT(num_layers, 0);
+    LLMNPU_CHECK_GT(kv_dim, 0);
+}
+
+void
+KvCache::Append(int layer, const Tensor& k, const Tensor& v)
+{
+    LLMNPU_CHECK_GE(layer, 0);
+    LLMNPU_CHECK_LT(layer, num_layers());
+    LLMNPU_CHECK_EQ(k.Cols(), kv_dim_);
+    LLMNPU_CHECK(k.shape() == v.shape());
+    auto& ks = k_[static_cast<size_t>(layer)];
+    auto& vs = v_[static_cast<size_t>(layer)];
+    const size_t n = static_cast<size_t>(k.NumElements());
+    const size_t old = ks.size();
+    ks.resize(old + n);
+    vs.resize(old + n);
+    std::memcpy(ks.data() + old, k.Data<float>(), n * sizeof(float));
+    std::memcpy(vs.data() + old, v.Data<float>(), n * sizeof(float));
+}
+
+Tensor
+KvCache::Keys(int layer) const
+{
+    const auto& ks = k_[static_cast<size_t>(layer)];
+    const int64_t len = static_cast<int64_t>(ks.size()) / kv_dim_;
+    Tensor out({len, kv_dim_}, DType::kF32);
+    std::memcpy(out.Data<float>(), ks.data(), ks.size() * sizeof(float));
+    return out;
+}
+
+Tensor
+KvCache::Values(int layer) const
+{
+    const auto& vs = v_[static_cast<size_t>(layer)];
+    const int64_t len = static_cast<int64_t>(vs.size()) / kv_dim_;
+    Tensor out({len, kv_dim_}, DType::kF32);
+    std::memcpy(out.Data<float>(), vs.data(), vs.size() * sizeof(float));
+    return out;
+}
+
+int64_t
+KvCache::SeqLen(int layer) const
+{
+    return static_cast<int64_t>(k_[static_cast<size_t>(layer)].size()) /
+           kv_dim_;
+}
+
+int64_t
+KvCache::SizeBytes() const
+{
+    int64_t total = 0;
+    for (size_t l = 0; l < k_.size(); ++l) {
+        total += static_cast<int64_t>(k_[l].size() + v_[l].size()) * 4;
+    }
+    return total;
+}
+
+}  // namespace llmnpu

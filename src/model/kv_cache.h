@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Per-layer key/value cache for chunked prefill and decoding.
+ *
+ * The cache is the mechanism that makes chunk-wise prefill exact: chunk i's
+ * attention reads keys/values of chunks 0..i (paper §3.2, Figure 7).
+ */
+#ifndef LLMNPU_MODEL_KV_CACHE_H
+#define LLMNPU_MODEL_KV_CACHE_H
+
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace llmnpu {
+
+/** Growable K/V storage for every transformer layer. */
+class KvCache
+{
+  public:
+    /**
+     * @param num_layers number of transformer blocks.
+     * @param kv_dim per-position K (and V) width = num_kv_heads * head_dim.
+     */
+    KvCache(int num_layers, int64_t kv_dim);
+
+    /** Appends `k` and `v` ([n x kv_dim]) for one layer. */
+    void Append(int layer, const Tensor& k, const Tensor& v);
+
+    /** All cached keys for a layer as a [len x kv_dim] tensor. */
+    Tensor Keys(int layer) const;
+
+    /** All cached values for a layer as a [len x kv_dim] tensor. */
+    Tensor Values(int layer) const;
+
+    /** Number of positions cached for a layer. */
+    int64_t SeqLen(int layer) const;
+
+    /** Positions cached in layer 0 (callers keep layers in lockstep). */
+    int64_t SeqLen() const { return SeqLen(0); }
+
+    int num_layers() const { return static_cast<int>(k_.size()); }
+    int64_t kv_dim() const { return kv_dim_; }
+
+    /** Bytes held across all layers (f32). */
+    int64_t SizeBytes() const;
+
+  private:
+    int64_t kv_dim_;
+    std::vector<std::vector<float>> k_;
+    std::vector<std::vector<float>> v_;
+};
+
+}  // namespace llmnpu
+
+#endif  // LLMNPU_MODEL_KV_CACHE_H

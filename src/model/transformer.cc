@@ -1,0 +1,173 @@
+#include "src/model/transformer.h"
+
+#include <cstring>
+
+#include "src/tensor/matmul.h"
+#include "src/tensor/ops.h"
+
+namespace llmnpu {
+
+Tensor
+Fp32LinearExecutor::Forward(int layer, LinearKind kind, const Tensor& x)
+{
+    return MatMulF32(x, weights_.Linear(layer, kind));
+}
+
+Transformer::Transformer(const ModelWeights& weights) : weights_(weights)
+{
+    LLMNPU_CHECK_EQ(static_cast<int>(weights.layers.size()),
+                    weights.config.num_layers);
+}
+
+KvCache
+Transformer::MakeCache() const
+{
+    const auto& c = weights_.config;
+    return KvCache(c.num_layers,
+                   static_cast<int64_t>(c.num_kv_heads) * c.head_dim);
+}
+
+Tensor
+Transformer::Embed(const std::vector<int>& tokens) const
+{
+    const auto& c = weights_.config;
+    Tensor out({static_cast<int64_t>(tokens.size()), c.hidden_size},
+               DType::kF32);
+    const float* emb = weights_.embedding.Data<float>();
+    float* p = out.Data<float>();
+    for (size_t i = 0; i < tokens.size(); ++i) {
+        LLMNPU_CHECK_GE(tokens[i], 0);
+        LLMNPU_CHECK_LT(tokens[i], c.vocab_size);
+        std::memcpy(p + i * static_cast<size_t>(c.hidden_size),
+                    emb + static_cast<int64_t>(tokens[i]) * c.hidden_size,
+                    static_cast<size_t>(c.hidden_size) * sizeof(float));
+    }
+    return out;
+}
+
+Tensor
+Transformer::Normed(const Tensor& x, const Tensor& gamma,
+                    const Tensor& beta) const
+{
+    if (weights_.config.norm == NormKind::kRMSNorm) {
+        return RMSNorm(x, gamma);
+    }
+    return LayerNorm(x, gamma, beta);
+}
+
+Tensor
+Transformer::ForwardBlock(int layer, const Tensor& x, KvCache& cache,
+                          int64_t pos_offset, LinearExecutor& linears) const
+{
+    const auto& c = weights_.config;
+    const auto& lw = weights_.layers[static_cast<size_t>(layer)];
+
+    // --- Attention sub-block (pre-norm residual). ---
+    Tensor normed = Normed(x, lw.attn_norm_gamma, lw.attn_norm_beta);
+    Tensor q = linears.Forward(layer, LinearKind::kWq, normed);
+    Tensor k = linears.Forward(layer, LinearKind::kWk, normed);
+    Tensor v = linears.Forward(layer, LinearKind::kWv, normed);
+
+    ApplyRope(q, c.num_heads, c.head_dim, pos_offset);
+    ApplyRope(k, c.num_kv_heads, c.head_dim, pos_offset);
+    cache.Append(layer, k, v);
+
+    Tensor keys = cache.Keys(layer);
+    Tensor values = cache.Values(layer);
+    Tensor attn = CausalAttention(q, keys, values, c.num_heads,
+                                  c.num_kv_heads, pos_offset);
+    Tensor attn_out = linears.Forward(layer, LinearKind::kWo, attn);
+    Tensor h = Add(x, attn_out);
+
+    // --- FFN sub-block. ---
+    Tensor ffn_in = Normed(h, lw.ffn_norm_gamma, lw.ffn_norm_beta);
+    Tensor up = linears.Forward(layer, LinearKind::kFfnUp, ffn_in);
+    if (c.gated_ffn) {
+        Tensor gate = linears.Forward(layer, LinearKind::kFfnGate, ffn_in);
+        if (c.act == ActKind::kSiLU) {
+            SiluInPlace(gate);
+        } else {
+            GeluInPlace(gate);
+        }
+        up = Mul(gate, up);
+    } else {
+        if (c.act == ActKind::kSiLU) {
+            SiluInPlace(up);
+        } else {
+            GeluInPlace(up);
+        }
+    }
+    Tensor down = linears.Forward(layer, LinearKind::kFfnDown, up);
+    AddInPlace(h, down);
+    return h;
+}
+
+Tensor
+Transformer::Forward(const std::vector<int>& tokens, KvCache& cache,
+                     LinearExecutor& linears) const
+{
+    LLMNPU_CHECK(!tokens.empty());
+    const int64_t pos_offset = cache.SeqLen();
+    Tensor x = Embed(tokens);
+    for (int l = 0; l < weights_.config.num_layers; ++l) {
+        x = ForwardBlock(l, x, cache, pos_offset, linears);
+    }
+    return Normed(x, weights_.final_norm_gamma, weights_.final_norm_beta);
+}
+
+Tensor
+Transformer::Logits(const Tensor& hidden) const
+{
+    // Tied embedding: logits = hidden @ embedding^T.
+    const auto& c = weights_.config;
+    const int64_t seq = hidden.Rows();
+    Tensor out = Tensor::Zeros({seq, c.vocab_size});
+    const float* ph = hidden.Data<float>();
+    const float* pe = weights_.embedding.Data<float>();
+    float* po = out.Data<float>();
+    for (int64_t i = 0; i < seq; ++i) {
+        for (int64_t t = 0; t < c.vocab_size; ++t) {
+            float dot = 0.0f;
+            const float* hrow = ph + i * c.hidden_size;
+            const float* erow = pe + t * c.hidden_size;
+            for (int64_t d = 0; d < c.hidden_size; ++d) {
+                dot += hrow[d] * erow[d];
+            }
+            po[i * c.vocab_size + t] = dot;
+        }
+    }
+    return out;
+}
+
+int
+Transformer::ArgmaxLastRow(const Tensor& logits) const
+{
+    const int64_t rows = logits.Rows(), cols = logits.Cols();
+    const float* p = logits.Data<float>() + (rows - 1) * cols;
+    int best = 0;
+    for (int64_t t = 1; t < cols; ++t) {
+        if (p[t] > p[best]) best = static_cast<int>(t);
+    }
+    return best;
+}
+
+std::vector<int>
+Transformer::Generate(const std::vector<int>& prompt, int max_new_tokens,
+                      LinearExecutor& linears) const
+{
+    KvCache cache = MakeCache();
+    Tensor hidden = Forward(prompt, cache, linears);
+    Tensor logits = Logits(hidden.CopyRows(hidden.Rows() - 1, 1));
+    std::vector<int> generated;
+    int next = ArgmaxLastRow(logits);
+    generated.push_back(next);
+    for (int i = 1; i < max_new_tokens; ++i) {
+        Tensor h = Forward({next}, cache, linears);
+        logits = Logits(h);
+        next = ArgmaxLastRow(logits);
+        generated.push_back(next);
+    }
+    return generated;
+}
+
+}  // namespace llmnpu

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Reference decoder-only transformer with pluggable linear executors.
+ *
+ * The forward pass follows Figure 5: norms, RoPE and attention are always
+ * computed in float ("orange" ops), while every linear projection is routed
+ * through a LinearExecutor ("blue" ops) — the fp32 reference executor, any of
+ * the baseline quantizers in src/quant, or llm.npu's shadow-outlier executor.
+ * This is what makes accuracy comparisons apples-to-apples: all algorithms
+ * share one forward implementation and differ only in the matmul kernel.
+ */
+#ifndef LLMNPU_MODEL_TRANSFORMER_H
+#define LLMNPU_MODEL_TRANSFORMER_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/model/kv_cache.h"
+#include "src/model/weights.h"
+#include "src/tensor/tensor.h"
+
+namespace llmnpu {
+
+/** Computes y = Linear(layer, kind)(x); implementations choose the kernel. */
+class LinearExecutor
+{
+  public:
+    virtual ~LinearExecutor() = default;
+
+    /** @param x f32 activations [seq x k]; @return f32 [seq x n]. */
+    virtual Tensor Forward(int layer, LinearKind kind, const Tensor& x) = 0;
+
+    /** Algorithm name for reports ("FP16", "SmoothQuant", ...). */
+    virtual std::string Name() const = 0;
+};
+
+/** Exact fp32 linear executor (the "FP16" baseline of Table 6). */
+class Fp32LinearExecutor : public LinearExecutor
+{
+  public:
+    explicit Fp32LinearExecutor(const ModelWeights& weights)
+        : weights_(weights)
+    {}
+
+    Tensor Forward(int layer, LinearKind kind, const Tensor& x) override;
+    std::string Name() const override { return "FP16"; }
+
+  private:
+    const ModelWeights& weights_;
+};
+
+/**
+ * The reference transformer.
+ *
+ * Chunk-exactness contract: Forward(tokens[0..n)) in one call produces
+ * bit-comparable hidden states to any sequence of Forward calls over a
+ * partition of the same tokens with the same cache (§3.2; verified by
+ * tests/model/transformer_test.cc).
+ */
+class Transformer
+{
+  public:
+    explicit Transformer(const ModelWeights& weights);
+
+    const ModelConfig& config() const { return weights_.config; }
+    const ModelWeights& weights() const { return weights_; }
+
+    /** Creates an empty cache sized for this model. */
+    KvCache MakeCache() const;
+
+    /** Embedding lookup: tokens -> [seq x hidden]. */
+    Tensor Embed(const std::vector<int>& tokens) const;
+
+    /**
+     * Runs all blocks over `tokens`, appending K/V to `cache`.
+     * Positions are cache.SeqLen() .. cache.SeqLen() + tokens.size() - 1.
+     * @return final-norm hidden states [seq x hidden].
+     */
+    Tensor Forward(const std::vector<int>& tokens, KvCache& cache,
+                   LinearExecutor& linears) const;
+
+    /** Logits from hidden states via the tied embedding: [seq x vocab]. */
+    Tensor Logits(const Tensor& hidden) const;
+
+    /** Greedy next token from the last row of `logits`. */
+    int ArgmaxLastRow(const Tensor& logits) const;
+
+    /**
+     * Prefills `prompt` then greedily decodes `max_new_tokens`.
+     * @return generated token ids.
+     */
+    std::vector<int> Generate(const std::vector<int>& prompt,
+                              int max_new_tokens,
+                              LinearExecutor& linears) const;
+
+  private:
+    Tensor ForwardBlock(int layer, const Tensor& x, KvCache& cache,
+                        int64_t pos_offset, LinearExecutor& linears) const;
+
+    Tensor Normed(const Tensor& x, const Tensor& gamma, const Tensor& beta)
+        const;
+
+    const ModelWeights& weights_;
+};
+
+}  // namespace llmnpu
+
+#endif  // LLMNPU_MODEL_TRANSFORMER_H

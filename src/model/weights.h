@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Synthetic model weights with the activation-outlier structure the paper
+ * measures on real LLMs (Figures 10-11).
+ *
+ * Substitution note (DESIGN.md §2): real trained checkpoints are not
+ * available offline, so weights are generated with a fixed seed such that
+ * (a) activations are well-scaled (unit-variance residual stream), and
+ * (b) a small set of "hot" hidden channels carries large, token-dependent
+ * activation outliers — the property that drives per-tensor quantization
+ * error, and hence everything §3.3 is designed around.
+ */
+#ifndef LLMNPU_MODEL_WEIGHTS_H
+#define LLMNPU_MODEL_WEIGHTS_H
+
+#include <vector>
+
+#include "src/model/config.h"
+#include "src/tensor/tensor.h"
+
+namespace llmnpu {
+
+/** All parameters of one transformer block (f32 master copies). */
+struct LayerWeights {
+    Tensor attn_norm_gamma;
+    Tensor attn_norm_beta;  ///< used only with LayerNorm models
+    Tensor wq, wk, wv, wo;  ///< [k x n], y = x @ W
+    Tensor ffn_norm_gamma;
+    Tensor ffn_norm_beta;
+    Tensor w_gate;  ///< present only for gated FFN models
+    Tensor w_up, w_down;
+};
+
+/** Options controlling synthetic weight generation. */
+struct SyntheticWeightsOptions {
+    uint64_t seed = 0x11f;
+    /** Fraction of hidden channels designated as outlier-prone ("hot"). */
+    double hot_channel_frac = 0.03;
+    /** Mean multiplicative amplification of hot channels in the important
+     *  linears. Real LLMs show outliers 20-100x the typical magnitude
+     *  [33, 84]; SmoothQuant-style migration only absorbs ~sqrt of it. */
+    double outlier_amplitude = 40.0;
+    /** Probability a given token activates a given hot channel. */
+    double token_activation_prob = 0.4;
+};
+
+/** A full model: config + embedding + blocks + final norm. */
+struct ModelWeights {
+    ModelConfig config;
+    Tensor embedding;  ///< [vocab x hidden]; lm_head is tied (transposed)
+    std::vector<LayerWeights> layers;
+    Tensor final_norm_gamma;
+    Tensor final_norm_beta;
+    /** Ground-truth injected hot channels (ascending), for test oracles. */
+    std::vector<int> hot_channels;
+    /** Hot output columns of wv (make o_proj inputs outlier-prone). */
+    std::vector<int> v_hot_channels;
+    /** Hot output columns of w_up (make down_proj inputs outlier-prone). */
+    std::vector<int> ffn_hot_channels;
+
+    /** The f32 weight matrix of one linear operator. */
+    const Tensor& Linear(int layer, LinearKind kind) const;
+    Tensor& MutableLinear(int layer, LinearKind kind);
+};
+
+/** Generates deterministic synthetic weights for `config`. */
+ModelWeights GenerateSyntheticWeights(const ModelConfig& config,
+                                      const SyntheticWeightsOptions& opts = {});
+
+}  // namespace llmnpu
+
+#endif  // LLMNPU_MODEL_WEIGHTS_H

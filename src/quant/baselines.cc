@@ -1,0 +1,347 @@
+#include "src/quant/baselines.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/tensor/matmul.h"
+#include "src/tensor/ops.h"
+
+namespace llmnpu {
+
+namespace {
+
+/** Gathers columns `cols` of x into a compact [M x |cols|] tensor. */
+Tensor
+GatherColumns(const Tensor& x, const std::vector<int>& cols)
+{
+    const int64_t m = x.Rows(), k = x.Cols();
+    Tensor out({m, static_cast<int64_t>(cols.size())}, DType::kF32);
+    const float* px = x.Data<float>();
+    float* po = out.Data<float>();
+    for (int64_t r = 0; r < m; ++r) {
+        for (size_t i = 0; i < cols.size(); ++i) {
+            LLMNPU_CHECK_LT(cols[i], k);
+            po[r * static_cast<int64_t>(cols.size()) +
+               static_cast<int64_t>(i)] = px[r * k + cols[i]];
+        }
+    }
+    return out;
+}
+
+/** Gathers rows `rows` of w into a compact [|rows| x N] tensor. */
+Tensor
+GatherRows(const Tensor& w, const std::vector<int>& rows)
+{
+    const int64_t n = w.Cols();
+    Tensor out({static_cast<int64_t>(rows.size()), n}, DType::kF32);
+    const float* pw = w.Data<float>();
+    float* po = out.Data<float>();
+    for (size_t i = 0; i < rows.size(); ++i) {
+        LLMNPU_CHECK_LT(rows[i], w.Rows());
+        for (int64_t c = 0; c < n; ++c) {
+            po[static_cast<int64_t>(i) * n + c] =
+                pw[static_cast<int64_t>(rows[i]) * n + c];
+        }
+    }
+    return out;
+}
+
+/** Median of a copy of `v`. */
+float
+MedianOf(std::vector<float> v)
+{
+    LLMNPU_CHECK(!v.empty());
+    std::nth_element(v.begin(), v.begin() + static_cast<long>(v.size() / 2),
+                     v.end());
+    return v[v.size() / 2];
+}
+
+}  // namespace
+
+// --------------------------------------------------------------------------
+// PerTensorExecutor
+// --------------------------------------------------------------------------
+
+PerTensorExecutor::PerTensorExecutor(const ModelWeights& weights)
+    : weights_(weights)
+{
+    const auto& config = weights.config;
+    q_.resize(static_cast<size_t>(config.num_layers));
+    for (int l = 0; l < config.num_layers; ++l) {
+        q_[static_cast<size_t>(l)].resize(7);
+        for (const auto& spec : config.LayerLinears()) {
+            q_[static_cast<size_t>(l)]
+              [static_cast<size_t>(LinearKindIndex(spec.kind))] =
+                QuantizePerColumn(weights.Linear(l, spec.kind));
+        }
+    }
+}
+
+Tensor
+PerTensorExecutor::Forward(int layer, LinearKind kind, const Tensor& x)
+{
+    const QuantParams params = ComputeSymmetricScale(x);
+    Tensor x_q = QuantizeSymmetric(x, params);
+    const auto& w = q_[static_cast<size_t>(layer)]
+                      [static_cast<size_t>(LinearKindIndex(kind))];
+    return MatMulW8A8PerTensor(x_q, params.scale, w.q, w.scales);
+}
+
+// --------------------------------------------------------------------------
+// KQuantExecutor
+// --------------------------------------------------------------------------
+
+KQuantExecutor::KQuantExecutor(const ModelWeights& weights, int group_size)
+    : weights_(weights), group_size_(group_size)
+{
+    const auto& config = weights.config;
+    q_.resize(static_cast<size_t>(config.num_layers));
+    for (int l = 0; l < config.num_layers; ++l) {
+        q_[static_cast<size_t>(l)].resize(7);
+        for (const auto& spec : config.LayerLinears()) {
+            q_[static_cast<size_t>(l)]
+              [static_cast<size_t>(LinearKindIndex(spec.kind))] =
+                QuantizePerGroup(weights.Linear(l, spec.kind), group_size_);
+        }
+    }
+}
+
+Tensor
+KQuantExecutor::Forward(int layer, LinearKind kind, const Tensor& x)
+{
+    const auto& w = q_[static_cast<size_t>(layer)]
+                      [static_cast<size_t>(LinearKindIndex(kind))];
+    return MatMulPerGroup(x, w);
+}
+
+// --------------------------------------------------------------------------
+// AwqExecutor
+// --------------------------------------------------------------------------
+
+AwqExecutor::AwqExecutor(const ModelWeights& weights,
+                         const CalibrationData& calib, int group_size,
+                         double alpha)
+    : weights_(weights)
+{
+    const auto& config = weights.config;
+    w_eff_.resize(static_cast<size_t>(config.num_layers));
+    for (int l = 0; l < config.num_layers; ++l) {
+        w_eff_[static_cast<size_t>(l)].resize(7);
+        for (const auto& spec : config.LayerLinears()) {
+            const Tensor& w = weights.Linear(l, spec.kind);
+            const auto& stats = calib.Stats(l, spec.kind);
+            LLMNPU_CHECK_EQ(stats.channel_mean_abs.size(),
+                            static_cast<size_t>(spec.k));
+
+            // Activation-aware channel scales, normalized to geomean 1.
+            std::vector<double> s(static_cast<size_t>(spec.k));
+            double log_sum = 0.0;
+            for (int64_t kk = 0; kk < spec.k; ++kk) {
+                const double a =
+                    std::max(1e-5, static_cast<double>(
+                                       stats.channel_mean_abs
+                                           [static_cast<size_t>(kk)]));
+                s[static_cast<size_t>(kk)] = std::pow(a, alpha);
+                log_sum += std::log(s[static_cast<size_t>(kk)]);
+            }
+            const double norm = std::exp(
+                log_sum / static_cast<double>(spec.k));
+            for (auto& v : s) v /= norm;
+
+            // Scale weight rows, quantize per group, unscale: rows carrying
+            // salient activations get finer effective resolution.
+            Tensor w_scaled = w;
+            float* pw = w_scaled.Data<float>();
+            for (int64_t kk = 0; kk < spec.k; ++kk) {
+                for (int64_t c = 0; c < spec.n; ++c) {
+                    pw[kk * spec.n + c] *=
+                        static_cast<float>(s[static_cast<size_t>(kk)]);
+                }
+            }
+            PerGroupWeights pg = QuantizePerGroup(w_scaled, group_size);
+            Tensor w_deq = DequantizePerGroup(pg);
+            float* pd = w_deq.Data<float>();
+            for (int64_t kk = 0; kk < spec.k; ++kk) {
+                for (int64_t c = 0; c < spec.n; ++c) {
+                    pd[kk * spec.n + c] /=
+                        static_cast<float>(s[static_cast<size_t>(kk)]);
+                }
+            }
+            w_eff_[static_cast<size_t>(l)]
+                  [static_cast<size_t>(LinearKindIndex(spec.kind))] =
+                std::move(w_deq);
+        }
+    }
+}
+
+Tensor
+AwqExecutor::Forward(int layer, LinearKind kind, const Tensor& x)
+{
+    return MatMulF32(x, w_eff_[static_cast<size_t>(layer)]
+                              [static_cast<size_t>(LinearKindIndex(kind))]);
+}
+
+// --------------------------------------------------------------------------
+// SmoothQuantExecutor
+// --------------------------------------------------------------------------
+
+SmoothQuantExecutor::SmoothQuantExecutor(const ModelWeights& weights,
+                                         const CalibrationData& calib,
+                                         double alpha)
+{
+    const auto& config = weights.config;
+    q_.resize(static_cast<size_t>(config.num_layers));
+    for (int l = 0; l < config.num_layers; ++l) {
+        q_[static_cast<size_t>(l)].resize(7);
+        for (const auto& spec : config.LayerLinears()) {
+            const Tensor& w = weights.Linear(l, spec.kind);
+            const auto& stats = calib.Stats(l, spec.kind);
+
+            SmoothedLinear sl;
+            sl.inv_smooth.resize(static_cast<size_t>(spec.k));
+            Tensor w_smooth = w;
+            float* pw = w_smooth.Data<float>();
+            float smoothed_absmax = 0.0f;
+            for (int64_t kk = 0; kk < spec.k; ++kk) {
+                // Per-channel weight absmax.
+                float w_absmax = 0.0f;
+                for (int64_t c = 0; c < spec.n; ++c) {
+                    w_absmax = std::max(w_absmax,
+                                        std::abs(pw[kk * spec.n + c]));
+                }
+                const float x_absmax = std::max(
+                    1e-5f, stats.channel_absmax[static_cast<size_t>(kk)]);
+                const float s = std::max(
+                    1e-5f,
+                    static_cast<float>(
+                        std::pow(x_absmax, alpha) /
+                        std::pow(std::max(w_absmax, 1e-5f), 1.0 - alpha)));
+                sl.inv_smooth[static_cast<size_t>(kk)] = 1.0f / s;
+                for (int64_t c = 0; c < spec.n; ++c) {
+                    pw[kk * spec.n + c] *= s;
+                }
+                smoothed_absmax = std::max(smoothed_absmax, x_absmax / s);
+            }
+            sl.weights = QuantizePerColumn(w_smooth);
+            // Static per-tensor activation scale, profiled offline — this
+            // (plus outlier migration into weights) is SmoothQuant's
+            // accuracy weakness the paper measures in Table 6.
+            sl.static_act_scale = smoothed_absmax > 0.0f
+                                      ? smoothed_absmax / 127.0f
+                                      : 1.0f;
+            q_[static_cast<size_t>(l)]
+              [static_cast<size_t>(LinearKindIndex(spec.kind))] =
+                std::move(sl);
+        }
+    }
+}
+
+Tensor
+SmoothQuantExecutor::Forward(int layer, LinearKind kind, const Tensor& x)
+{
+    const auto& sl = q_[static_cast<size_t>(layer)]
+                       [static_cast<size_t>(LinearKindIndex(kind))];
+    Tensor x_smooth = x;
+    float* px = x_smooth.Data<float>();
+    const int64_t m = x.Rows(), k = x.Cols();
+    LLMNPU_CHECK_EQ(static_cast<size_t>(k), sl.inv_smooth.size());
+    for (int64_t r = 0; r < m; ++r) {
+        for (int64_t c = 0; c < k; ++c) {
+            px[r * k + c] *= sl.inv_smooth[static_cast<size_t>(c)];
+        }
+    }
+    QuantParams params{sl.static_act_scale};
+    Tensor x_q = QuantizeSymmetric(x_smooth, params);
+    return MatMulW8A8PerTensor(x_q, params.scale, sl.weights.q,
+                               sl.weights.scales);
+}
+
+// --------------------------------------------------------------------------
+// LlmInt8Executor
+// --------------------------------------------------------------------------
+
+LlmInt8Executor::LlmInt8Executor(const ModelWeights& weights,
+                                 const CalibrationData& calib,
+                                 double outlier_threshold)
+    : weights_(weights)
+{
+    const auto& config = weights.config;
+    q_.resize(static_cast<size_t>(config.num_layers));
+    for (int l = 0; l < config.num_layers; ++l) {
+        q_[static_cast<size_t>(l)].resize(7);
+        for (const auto& spec : config.LayerLinears()) {
+            const Tensor& w = weights.Linear(l, spec.kind);
+            const auto& stats = calib.Stats(l, spec.kind);
+
+            DecomposedLinear dl;
+            const float median = MedianOf(stats.channel_absmax);
+            const float cut =
+                static_cast<float>(outlier_threshold) * std::max(median, 1e-5f);
+            for (int64_t kk = 0; kk < spec.k; ++kk) {
+                if (stats.channel_absmax[static_cast<size_t>(kk)] > cut) {
+                    dl.outlier_channels.push_back(static_cast<int>(kk));
+                } else {
+                    dl.normal_channels.push_back(static_cast<int>(kk));
+                }
+            }
+            dl.w_outlier = GatherRows(w, dl.outlier_channels);
+            PerColumnWeights pc =
+                QuantizePerColumn(GatherRows(w, dl.normal_channels));
+            dl.w_normal_q = std::move(pc.q);
+            dl.w_scales = std::move(pc.scales);
+            q_[static_cast<size_t>(l)]
+              [static_cast<size_t>(LinearKindIndex(spec.kind))] =
+                std::move(dl);
+        }
+    }
+}
+
+size_t
+LlmInt8Executor::NumOutlierChannels(int layer, LinearKind kind) const
+{
+    return q_[static_cast<size_t>(layer)]
+             [static_cast<size_t>(LinearKindIndex(kind))]
+                 .outlier_channels.size();
+}
+
+Tensor
+LlmInt8Executor::Forward(int layer, LinearKind kind, const Tensor& x)
+{
+    const auto& dl = q_[static_cast<size_t>(layer)]
+                       [static_cast<size_t>(LinearKindIndex(kind))];
+    const int64_t m = x.Rows();
+
+    // Normal channels: vector-wise int8 (per-row activation scales).
+    Tensor x_norm = GatherColumns(x, dl.normal_channels);
+    std::vector<float> row_scales(static_cast<size_t>(m));
+    Tensor x_q(x_norm.shape(), DType::kI8);
+    {
+        const float* px = x_norm.Data<float>();
+        int8_t* pq = x_q.Data<int8_t>();
+        const int64_t k = x_norm.Cols();
+        for (int64_t r = 0; r < m; ++r) {
+            float absmax = 0.0f;
+            for (int64_t c = 0; c < k; ++c) {
+                absmax = std::max(absmax, std::abs(px[r * k + c]));
+            }
+            const float scale = absmax > 0.0f ? absmax / 127.0f : 1.0f;
+            row_scales[static_cast<size_t>(r)] = scale;
+            const float inv = 1.0f / scale;
+            for (int64_t c = 0; c < k; ++c) {
+                pq[r * k + c] = static_cast<int8_t>(std::clamp(
+                    std::nearbyint(px[r * k + c] * inv), -127.0f, 127.0f));
+            }
+        }
+    }
+    Tensor y = MatMulW8A8RowCol(x_q, row_scales, dl.w_normal_q, dl.w_scales);
+
+    // Outlier channels: float path.
+    if (!dl.outlier_channels.empty()) {
+        Tensor x_out = GatherColumns(x, dl.outlier_channels);
+        Tensor y_out = MatMulF32(x_out, dl.w_outlier);
+        AddInPlace(y, y_out);
+    }
+    return y;
+}
+
+}  // namespace llmnpu

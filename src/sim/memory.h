@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Memory-footprint accounting for simulated inference sessions (Figure 17,
+ * and the chunk-graph / shadow-weight memory analyses of §3.2-3.3).
+ */
+#ifndef LLMNPU_SIM_MEMORY_H
+#define LLMNPU_SIM_MEMORY_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/util/check.h"
+
+namespace llmnpu {
+
+/** Named byte categories summing to a session's memory footprint. */
+class MemoryTracker
+{
+  public:
+    /** Adds `bytes` to a category (creates it when absent). */
+    void
+    Add(const std::string& category, int64_t bytes)
+    {
+        LLMNPU_CHECK_GE(bytes, 0);
+        categories_[category] += bytes;
+    }
+
+    /** Bytes in one category (0 when absent). */
+    int64_t
+    Get(const std::string& category) const
+    {
+        auto it = categories_.find(category);
+        return it == categories_.end() ? 0 : it->second;
+    }
+
+    /** Total across all categories. */
+    int64_t
+    TotalBytes() const
+    {
+        int64_t total = 0;
+        for (const auto& [name, bytes] : categories_) total += bytes;
+        return total;
+    }
+
+    const std::map<std::string, int64_t>& categories() const
+    {
+        return categories_;
+    }
+
+  private:
+    std::map<std::string, int64_t> categories_;
+};
+
+}  // namespace llmnpu
+
+#endif  // LLMNPU_SIM_MEMORY_H

@@ -1,0 +1,269 @@
+#include "src/sim/processor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/sim/calibration.h"
+#include "src/util/check.h"
+
+namespace llmnpu {
+
+namespace {
+
+/** Piecewise-linear interpolation in log2(m) over a {m, value} table. */
+template <size_t N>
+double
+TableLookup(const double (&table)[N][2], double m)
+{
+    if (m <= table[0][0]) {
+        // Scale down linearly below the first entry.
+        return table[0][1] * m / table[0][0];
+    }
+    if (m >= table[N - 1][0]) return table[N - 1][1];
+    for (size_t i = 0; i + 1 < N; ++i) {
+        if (m <= table[i + 1][0]) {
+            const double x0 = std::log2(table[i][0]);
+            const double x1 = std::log2(table[i + 1][0]);
+            const double t = (std::log2(m) - x0) / (x1 - x0);
+            return table[i][1] * (1.0 - t) + table[i + 1][1] * t;
+        }
+    }
+    return table[N - 1][1];
+}
+
+}  // namespace
+
+std::string
+UnitName(Unit unit)
+{
+    switch (unit) {
+      case Unit::kCpu: return "CPU";
+      case Unit::kGpu: return "GPU";
+      case Unit::kNpu: return "NPU";
+    }
+    return "?";
+}
+
+ProcessorModel::ProcessorModel(Unit unit, double perf_scale)
+    : unit_(unit), perf_scale_(perf_scale)
+{
+    LLMNPU_CHECK_GT(perf_scale, 0.0);
+}
+
+double
+ProcessorModel::SizeFactor(const MatMulShape& shape) const
+{
+    const double geomean = std::sqrt(static_cast<double>(shape.k) *
+                                     static_cast<double>(shape.n));
+    double ref, exp, lo, hi;
+    if (unit_ == Unit::kNpu) {
+        ref = cal::kNpuSizeFactorRef;
+        exp = cal::kNpuSizeFactorExp;
+        lo = cal::kNpuSizeFactorLo;
+        hi = cal::kNpuSizeFactorHi;
+    } else if (unit_ == Unit::kGpu) {
+        ref = cal::kGpuSizeFactorRef;
+        exp = cal::kGpuSizeFactorExp;
+        lo = cal::kGpuSizeFactorLo;
+        hi = cal::kGpuSizeFactorHi;
+    } else {
+        return 1.0;
+    }
+    return std::clamp(std::pow(geomean / ref, exp), lo, hi);
+}
+
+double
+ProcessorModel::Int8Tops(const MatMulShape& shape, bool square_optimized) const
+{
+    double m = static_cast<double>(shape.m);
+    double tops;
+    switch (unit_) {
+      case Unit::kNpu: {
+        const double square = TableLookup(cal::kNpuInt8TopsTable, m);
+        tops = square_optimized
+                   ? square
+                   : std::min(square, std::max(cal::kNpuFlatFloorTops,
+                                               square / cal::kNpuSquareSpeedup));
+        tops *= SizeFactor(shape);
+        break;
+      }
+      case Unit::kCpu:
+        // Matvec (decode) kernels stream weights; their ALU utilization
+        // never drops below the kCpuMatvecMFloor batch equivalent.
+        m = std::max(m, cal::kCpuMatvecMFloor);
+        tops = cal::kCpuInt8TopsMax * m / (m + cal::kCpuInt8MHalf);
+        break;
+      case Unit::kGpu:
+        // Mobile GPUs run int8 via fp16 ALUs; same throughput as fp16.
+        tops = FloatGflops(std::max<int64_t>(
+                   shape.m, static_cast<int64_t>(cal::kGpuMatvecMFloor))) /
+               1000.0;
+        return tops;  // FloatGflops is already perf-scaled
+    }
+    return tops * perf_scale_;
+}
+
+double
+ProcessorModel::FloatGflops(int64_t m_i) const
+{
+    const double m = std::max<double>(1.0, static_cast<double>(m_i));
+    double gflops;
+    switch (unit_) {
+      case Unit::kNpu:
+        gflops = cal::kNpuFp16GflopsBase * m / (m + cal::kNpuFp16MHalf);
+        break;
+      case Unit::kCpu:
+        gflops = cal::kCpuFp32Gflops * m / (m + 2.0);
+        break;
+      case Unit::kGpu:
+        gflops = TableLookup(cal::kGpuFp16TflopsTable, m) * 1000.0;
+        break;
+      default: gflops = 1.0;
+    }
+    return gflops * perf_scale_;
+}
+
+double
+ProcessorModel::MatMulMs(const MatMulShape& shape, ExecFormat format,
+                         int group_size, bool square_optimized) const
+{
+    LLMNPU_CHECK_GT(shape.m, 0);
+    LLMNPU_CHECK_GT(shape.k, 0);
+    LLMNPU_CHECK_GT(shape.n, 0);
+    const double ops = shape.Ops();
+
+    switch (format) {
+      case ExecFormat::kInt8PerTensor: {
+        const double tops = Int8Tops(shape, square_optimized);
+        const double compute_ms = ops / (tops * 1e12) * 1e3;
+        double bw = WeightBw();
+        // Decode matvec on the GPU streams at DRAM rate rather than the
+        // tile-bound prefill rate.
+        if (unit_ == Unit::kGpu && shape.m <= 8) bw = cal::kGpuDecodeBwGBs;
+        const double mem_ms =
+            shape.WeightBytes(1.0) / (bw * perf_scale_ * 1e9) * 1e3;
+        return std::max(compute_ms, mem_ms);
+      }
+      case ExecFormat::kInt8PerGroup: {
+        LLMNPU_CHECK_GT(group_size, 0);
+        // Figure 3(b): K/group sub-tensor matmuls at reduced utilization,
+        // plus a float reduction of (groups-1) * M * N adds, plus per-sub-
+        // matmul dispatch. This is what costs 8.1-10.7x on NPUs (Figure 4).
+        const int groups =
+            static_cast<int>((shape.k + group_size - 1) / group_size);
+        double sub_util;
+        if (unit_ == Unit::kNpu) {
+            sub_util = cal::kNpuPerGroupSubUtil;
+        } else if (unit_ == Unit::kCpu) {
+            sub_util = cal::kCpuPerGroupSubUtil;
+        } else {
+            sub_util = cal::kGpuPerGroupSubUtil;
+        }
+        const double tops = Int8Tops(shape, square_optimized) * sub_util;
+        const double sub_ms = ops / (tops * 1e12) * 1e3;
+        const double reduce_flops = static_cast<double>(groups - 1) *
+                                    static_cast<double>(shape.m) *
+                                    static_cast<double>(shape.n);
+        const double reduce_ms =
+            reduce_flops / (FloatGflops(shape.m) * 1e9) * 1e3;
+        double per_sub_dispatch;
+        if (unit_ == Unit::kNpu) {
+            per_sub_dispatch = cal::kNpuOpDispatchMs;
+        } else if (unit_ == Unit::kCpu) {
+            per_sub_dispatch = cal::kCpuDispatchMs;
+        } else {
+            per_sub_dispatch = cal::kGpuDispatchMs * 0.2;
+        }
+        const double mem_ms = shape.WeightBytes(1.0) /
+                              (WeightBw() * perf_scale_ * 1e9) * 1e3;
+        return std::max(sub_ms, mem_ms) + reduce_ms +
+               static_cast<double>(groups) * per_sub_dispatch;
+      }
+      case ExecFormat::kFp16:
+      case ExecFormat::kFp32: {
+        const double gflops = FloatGflops(shape.m);
+        const double compute_ms = ops / (gflops * 1e9) * 1e3;
+        const double elem_bytes = format == ExecFormat::kFp16 ? 2.0 : 4.0;
+        const double mem_ms = shape.WeightBytes(elem_bytes) /
+                              (WeightBw() * perf_scale_ * 1e9) * 1e3;
+        return std::max(compute_ms, mem_ms);
+      }
+    }
+    LLMNPU_CHECK(false);
+    return 0.0;
+}
+
+double
+ProcessorModel::VectorOpMs(double elems, double flops_per_elem) const
+{
+    // Vector ops are memory-bound as often as compute-bound; use the
+    // slower of flops at float rate and 8 bytes/element of traffic.
+    const double flops_ms =
+        elems * flops_per_elem / (FloatGflops(256) * 1e9) * 1e3;
+    const double mem_ms = elems * 8.0 / (WeightBw() * perf_scale_ * 1e9) * 1e3;
+    return std::max(flops_ms, mem_ms);
+}
+
+double
+ProcessorModel::AttentionMs(int64_t q_len, int64_t kv_len, int num_heads,
+                            int head_dim) const
+{
+    // QK^T + AV: 2 * 2 * q_len * kv_len * heads * head_dim FLOPs, plus a
+    // softmax pass (~6 flops/score).
+    const double matmul_flops = 4.0 * static_cast<double>(q_len) *
+                                static_cast<double>(kv_len) *
+                                static_cast<double>(num_heads) * head_dim;
+    const double softmax_flops = 6.0 * static_cast<double>(q_len) *
+                                 static_cast<double>(kv_len) * num_heads;
+    // CPU attention uses blocked multi-core fp16 NEON kernels, much faster
+    // than general fp32 vector work (see kCpuAttentionGflops). Decode
+    // attention (q_len 1) on the GPU is latency-bound, not occupancy-bound:
+    // apply the matvec batch floor.
+    double gflops;
+    if (unit_ == Unit::kCpu) {
+        gflops = cal::kCpuAttentionGflops * perf_scale_ *
+                 static_cast<double>(q_len) /
+                 (static_cast<double>(q_len) + 8.0);
+    } else if (unit_ == Unit::kGpu) {
+        gflops = FloatGflops(std::max<int64_t>(
+            q_len, static_cast<int64_t>(cal::kGpuMatvecMFloor)));
+    } else {
+        gflops = FloatGflops(q_len);
+    }
+    return (matmul_flops + softmax_flops) / (gflops * 1e9) * 1e3;
+}
+
+double
+ProcessorModel::WeightBw() const
+{
+    switch (unit_) {
+      case Unit::kNpu: return cal::kNpuWeightBwGBs;
+      case Unit::kCpu: return cal::kCpuWeightBwGBs;
+      case Unit::kGpu: return cal::kGpuWeightBwGBs;
+    }
+    return 1.0;
+}
+
+double
+ProcessorModel::DispatchMs() const
+{
+    switch (unit_) {
+      case Unit::kNpu: return cal::kNpuDispatchMs;
+      case Unit::kCpu: return cal::kCpuDispatchMs;
+      case Unit::kGpu: return cal::kGpuDispatchMs;
+    }
+    return 0.0;
+}
+
+double
+ProcessorModel::BusyPowerW() const
+{
+    switch (unit_) {
+      case Unit::kNpu: return cal::kNpuBusyPowerW;
+      case Unit::kCpu: return cal::kCpuBusyPowerW;
+      case Unit::kGpu: return cal::kGpuBusyPowerW;
+    }
+    return 0.0;
+}
+
+}  // namespace llmnpu

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Analytical latency models for the three mobile processors (CPU, GPU, NPU).
+ *
+ * The model prices one operator at a time:
+ *   latency = max(compute_time, weight_streaming_time) + dispatch_overhead
+ * with effective throughput curves calibrated to Table 3 / Table 5 / §4
+ * (see src/sim/calibration.h for every constant's provenance).
+ */
+#ifndef LLMNPU_SIM_PROCESSOR_H
+#define LLMNPU_SIM_PROCESSOR_H
+
+#include <cstdint>
+#include <string>
+
+namespace llmnpu {
+
+/** Which processor executes an operator. */
+enum class Unit : uint8_t { kCpu = 0, kGpu = 1, kNpu = 2 };
+
+/** Number of Unit values. */
+inline constexpr int kNumUnits = 3;
+
+/** Short name ("CPU"/"GPU"/"NPU"). */
+std::string UnitName(Unit unit);
+
+/** Numeric format an operator executes in. */
+enum class ExecFormat : uint8_t {
+    kInt8PerTensor,  ///< W8A8, one activation scale (+ per-column weight)
+    kInt8PerGroup,   ///< W8A8, group-wise sub-matmuls + float reduce
+    kFp16,           ///< half-precision float
+    kFp32,           ///< full float (CPU only)
+};
+
+/** Shape of a matmul: [M x K] @ [K x N]. */
+struct MatMulShape {
+    int64_t m = 0;
+    int64_t k = 0;
+    int64_t n = 0;
+
+    double Ops() const { return 2.0 * static_cast<double>(m) * k * n; }
+    /** Weight bytes for the given element size. */
+    double WeightBytes(double elem_bytes) const
+    {
+        return static_cast<double>(k) * n * elem_bytes;
+    }
+};
+
+/**
+ * Latency/energy model of one processor.
+ *
+ * `perf_scale` scales all throughputs (used for the Snapdragon 8gen2
+ * device); `square_optimized` selects llm.npu's preparation-stage shape
+ * profiling (§4, optimization (1)) vs the flat layouts other engines use.
+ */
+class ProcessorModel
+{
+  public:
+    ProcessorModel(Unit unit, double perf_scale);
+
+    Unit unit() const { return unit_; }
+    double perf_scale() const { return perf_scale_; }
+
+    /**
+     * Latency (ms) of one matmul in the given format.
+     *
+     * @param group_size group width for kInt8PerGroup (ignored otherwise).
+     * @param square_optimized whether the engine profiled equivalent 2-D
+     *        input shapes at preparation time (llm.npu only).
+     */
+    double MatMulMs(const MatMulShape& shape, ExecFormat format,
+                    int group_size, bool square_optimized) const;
+
+    /**
+     * Latency (ms) of a float vector operator (norm/softmax/activation/
+     * rope/elementwise) touching `elems` elements with `flops_per_elem`
+     * float operations each.
+     */
+    double VectorOpMs(double elems, double flops_per_elem) const;
+
+    /** Latency (ms) of float attention over one chunk (scores + weighted
+     *  sum): q_len x kv_len positions, `heads` x `head_dim` wide. */
+    double AttentionMs(int64_t q_len, int64_t kv_len, int num_heads,
+                       int head_dim) const;
+
+    /** Per-task dispatch overhead (ms). */
+    double DispatchMs() const;
+
+    /** Busy power draw in watts. */
+    double BusyPowerW() const;
+
+    /** Effective INT8 TOPS for a shape (exposed for tests/benches). */
+    double Int8Tops(const MatMulShape& shape, bool square_optimized) const;
+
+    /** Effective float GFLOPS at batch M (fp16 on GPU/NPU, fp32 on CPU). */
+    double FloatGflops(int64_t m) const;
+
+    /** Weight-streaming bandwidth in GB/s (before perf scaling). */
+    double WeightBw() const;
+
+  private:
+    double SizeFactor(const MatMulShape& shape) const;
+
+    Unit unit_;
+    double perf_scale_;
+};
+
+}  // namespace llmnpu
+
+#endif  // LLMNPU_SIM_PROCESSOR_H

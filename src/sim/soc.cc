@@ -1,0 +1,69 @@
+#include "src/sim/soc.h"
+
+#include "src/sim/calibration.h"
+#include "src/util/check.h"
+
+namespace llmnpu {
+
+SocSpec::SocSpec(std::string name, std::string soc, double memory_gb,
+                 double cpu_scale, double gpu_scale, double npu_scale)
+    : name_(std::move(name)),
+      soc_name_(std::move(soc)),
+      memory_gb_(memory_gb),
+      processors_{ProcessorModel(Unit::kCpu, cpu_scale),
+                  ProcessorModel(Unit::kGpu, gpu_scale),
+                  ProcessorModel(Unit::kNpu, npu_scale)}
+{}
+
+SocSpec
+SocSpec::RedmiK70Pro()
+{
+    return SocSpec("Redmi K70 Pro", "Snapdragon 8gen3", 24.0, 1.0, 1.0, 1.0);
+}
+
+SocSpec
+SocSpec::RedmiK60Pro()
+{
+    return SocSpec("Redmi K60 Pro", "Snapdragon 8gen2", 16.0,
+                   cal::kGen2CpuScale, cal::kGen2GpuScale,
+                   cal::kGen2NpuScale);
+}
+
+const ProcessorModel&
+SocSpec::Processor(Unit unit) const
+{
+    return processors_[static_cast<size_t>(unit)];
+}
+
+double
+SocSpec::BasePowerW() const
+{
+    return cal::kSocBasePowerW;
+}
+
+double
+SocSpec::EnergyMj(const std::array<double, kNumUnits>& busy_ms,
+                  double makespan_ms) const
+{
+    return EnergyMj(busy_ms, makespan_ms,
+                    processors_[static_cast<size_t>(Unit::kCpu)]
+                        .BusyPowerW());
+}
+
+double
+SocSpec::EnergyMj(const std::array<double, kNumUnits>& busy_ms,
+                  double makespan_ms, double cpu_power_w) const
+{
+    LLMNPU_CHECK_GE(makespan_ms, 0.0);
+    double mj = makespan_ms * BasePowerW();
+    for (int u = 0; u < kNumUnits; ++u) {
+        const double power =
+            u == static_cast<int>(Unit::kCpu)
+                ? cpu_power_w
+                : processors_[static_cast<size_t>(u)].BusyPowerW();
+        mj += busy_ms[static_cast<size_t>(u)] * power;
+    }
+    return mj;
+}
+
+}  // namespace llmnpu

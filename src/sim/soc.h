@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Mobile SoC descriptions: the two evaluation devices (§4.1) and the
+ * energy model (busy power per processor + SoC baseline).
+ */
+#ifndef LLMNPU_SIM_SOC_H
+#define LLMNPU_SIM_SOC_H
+
+#include <array>
+#include <string>
+
+#include "src/sim/processor.h"
+
+namespace llmnpu {
+
+/** One phone: a named SoC with three processor models. */
+class SocSpec
+{
+  public:
+    /** Redmi K70 Pro: Snapdragon 8gen3, 24 GB (primary device). */
+    static SocSpec RedmiK70Pro();
+
+    /** Redmi K60 Pro: Snapdragon 8gen2, 16 GB (energy device). */
+    static SocSpec RedmiK60Pro();
+
+    const std::string& name() const { return name_; }
+    const std::string& soc_name() const { return soc_name_; }
+    double memory_gb() const { return memory_gb_; }
+
+    /** Processor model for a unit. */
+    const ProcessorModel& Processor(Unit unit) const;
+
+    /** SoC baseline power in watts (always drawn while inferring). */
+    double BasePowerW() const;
+
+    /**
+     * Energy in millijoules for a run: per-unit busy time integrates that
+     * unit's busy power; the baseline integrates over the makespan.
+     */
+    double EnergyMj(const std::array<double, kNumUnits>& busy_ms,
+                    double makespan_ms) const;
+
+    /**
+     * EnergyMj() with an explicit CPU busy power: NPU-driven engines keep
+     * the CPU in intermittent 1-2-core service duty (kCpuServicePowerW)
+     * rather than all-core saturation.
+     */
+    double EnergyMj(const std::array<double, kNumUnits>& busy_ms,
+                    double makespan_ms, double cpu_power_w) const;
+
+  private:
+    SocSpec(std::string name, std::string soc, double memory_gb,
+            double cpu_scale, double gpu_scale, double npu_scale);
+
+    std::string name_;
+    std::string soc_name_;
+    double memory_gb_;
+    std::array<ProcessorModel, kNumUnits> processors_;
+};
+
+}  // namespace llmnpu
+
+#endif  // LLMNPU_SIM_SOC_H

@@ -1,0 +1,191 @@
+#include "src/sim/timeline.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/util/check.h"
+
+namespace llmnpu {
+
+TaskPicker
+FifoPicker()
+{
+    return [](Unit, const std::vector<int>& ready, const SchedContext&) {
+        return ready.front();
+    };
+}
+
+double
+TimelineResult::BubbleRate(Unit unit) const
+{
+    const auto u = static_cast<size_t>(unit);
+    const double span = span_end_ms[u] - span_start_ms[u];
+    if (span <= 0.0) return 0.0;
+    return 1.0 - busy_ms[u] / span;
+}
+
+namespace {
+
+/** Mutable scheduling state implementing the picker-visible view. */
+class TimelineState final : public SchedContext
+{
+  public:
+    explicit TimelineState(const std::vector<SimTask>& tasks) : tasks_(tasks)
+    {
+        const size_t n = tasks.size();
+        remaining_.resize(n);
+        consumers_.resize(n);
+        completed_.assign(n, false);
+        for (size_t i = 0; i < n; ++i) {
+            remaining_[i] = static_cast<int>(tasks[i].deps.size());
+            for (int dep : tasks[i].deps) {
+                LLMNPU_CHECK_GE(dep, 0);
+                LLMNPU_CHECK_LT(dep, static_cast<int>(n));
+                LLMNPU_CHECK_NE(dep, static_cast<int>(i));
+                consumers_[static_cast<size_t>(dep)].push_back(
+                    static_cast<int>(i));
+            }
+        }
+    }
+
+    const std::vector<SimTask>& tasks() const override { return tasks_; }
+
+    int
+    RemainingDeps(int task_id) const override
+    {
+        return remaining_[static_cast<size_t>(task_id)];
+    }
+
+    const std::vector<int>&
+    Consumers(int task_id) const override
+    {
+        return consumers_[static_cast<size_t>(task_id)];
+    }
+
+    bool
+    Completed(int task_id) const override
+    {
+        return completed_[static_cast<size_t>(task_id)];
+    }
+
+    double NowMs() const override { return now_ms_; }
+
+    void SetNow(double t) { now_ms_ = t; }
+
+    /** Marks `task_id` complete; appends newly-ready consumers to `out`. */
+    void
+    Complete(int task_id, std::vector<int>& out)
+    {
+        completed_[static_cast<size_t>(task_id)] = true;
+        for (int consumer : consumers_[static_cast<size_t>(task_id)]) {
+            if (--remaining_[static_cast<size_t>(consumer)] == 0) {
+                out.push_back(consumer);
+            }
+        }
+    }
+
+  private:
+    const std::vector<SimTask>& tasks_;
+    std::vector<int> remaining_;
+    std::vector<std::vector<int>> consumers_;
+    std::vector<bool> completed_;
+    double now_ms_ = 0.0;
+};
+
+}  // namespace
+
+TimelineResult
+RunTimeline(const std::vector<SimTask>& tasks, const TaskPicker& picker)
+{
+    TimelineResult result;
+    result.records.resize(tasks.size());
+    for (int u = 0; u < kNumUnits; ++u) {
+        result.span_start_ms[static_cast<size_t>(u)] =
+            std::numeric_limits<double>::max();
+    }
+    if (tasks.empty()) {
+        result.span_start_ms.fill(0.0);
+        return result;
+    }
+
+    TimelineState state(tasks);
+
+    std::array<std::vector<int>, kNumUnits> ready;
+    for (size_t i = 0; i < tasks.size(); ++i) {
+        if (state.RemainingDeps(static_cast<int>(i)) == 0) {
+            ready[static_cast<size_t>(tasks[i].unit)].push_back(
+                static_cast<int>(i));
+        }
+    }
+
+    struct Running {
+        int task_id = -1;
+        double end_ms = 0.0;
+    };
+    std::array<Running, kNumUnits> running;
+    double now = 0.0;
+    size_t completed_count = 0;
+
+    auto try_start = [&](int u) {
+        auto& queue = ready[static_cast<size_t>(u)];
+        if (running[static_cast<size_t>(u)].task_id >= 0 || queue.empty()) {
+            return;
+        }
+        state.SetNow(now);
+        const int chosen = picker(static_cast<Unit>(u), queue, state);
+        auto it = std::find(queue.begin(), queue.end(), chosen);
+        LLMNPU_CHECK(it != queue.end());
+        queue.erase(it);
+        const SimTask& task = tasks[static_cast<size_t>(chosen)];
+        running[static_cast<size_t>(u)] = {chosen, now + task.duration_ms};
+        result.records[static_cast<size_t>(chosen)] = {now,
+                                                       now + task.duration_ms};
+        auto& busy = result.busy_ms[static_cast<size_t>(u)];
+        busy += task.duration_ms;
+        auto& s0 = result.span_start_ms[static_cast<size_t>(u)];
+        s0 = std::min(s0, now);
+        auto& s1 = result.span_end_ms[static_cast<size_t>(u)];
+        s1 = std::max(s1, now + task.duration_ms);
+    };
+
+    while (completed_count < tasks.size()) {
+        for (int u = 0; u < kNumUnits; ++u) try_start(u);
+
+        // Find the earliest completion among running tasks.
+        double next = std::numeric_limits<double>::max();
+        for (const auto& r : running) {
+            if (r.task_id >= 0) next = std::min(next, r.end_ms);
+        }
+        LLMNPU_FATAL_IF(next == std::numeric_limits<double>::max(),
+                        "timeline deadlock: dependency cycle in task DAG");
+        now = next;
+
+        std::vector<int> newly_ready;
+        for (auto& r : running) {
+            if (r.task_id >= 0 && r.end_ms <= now + 1e-12) {
+                state.Complete(r.task_id, newly_ready);
+                ++completed_count;
+                r.task_id = -1;
+            }
+        }
+        for (int id : newly_ready) {
+            ready[static_cast<size_t>(tasks[static_cast<size_t>(id)].unit)]
+                .push_back(id);
+        }
+    }
+
+    result.makespan_ms = now;
+    for (int u = 0; u < kNumUnits; ++u) {
+        auto& s0 = result.span_start_ms[static_cast<size_t>(u)];
+        if (s0 == std::numeric_limits<double>::max()) s0 = 0.0;
+    }
+    return result;
+}
+
+TimelineResult
+RunTimeline(const std::vector<SimTask>& tasks)
+{
+    return RunTimeline(tasks, FifoPicker());
+}
+
+}  // namespace llmnpu

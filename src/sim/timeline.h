@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Discrete-event timeline: executes a DAG of tasks on the three processors,
+ * honoring dependencies and Equation 4 (a processor runs exactly one
+ * subgraph at a time), with a pluggable per-processor task picker.
+ *
+ * The FIFO picker models the paper's "naive overlapping" (Figure 13(a));
+ * llm.npu's out-of-order scheduler (src/core/scheduler) plugs in the
+ * C-value heuristic of Equation 5.
+ */
+#ifndef LLMNPU_SIM_TIMELINE_H
+#define LLMNPU_SIM_TIMELINE_H
+
+#include <array>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/sim/processor.h"
+
+namespace llmnpu {
+
+/** One schedulable task (subgraph execution, sync, weight fetch, ...). */
+struct SimTask {
+    std::string label;
+    Unit unit = Unit::kCpu;
+    double duration_ms = 0.0;
+    std::vector<int> deps;  ///< task ids that must complete first
+
+    // Scheduler metadata (used by the OoO heuristic and reports).
+    int chunk = -1;  ///< prompt chunk index, -1 when not chunked
+    int stage = -1;  ///< subgraph position within the chunk
+};
+
+/** Start/end times assigned to one task. */
+struct TaskRecord {
+    double start_ms = 0.0;
+    double end_ms = 0.0;
+};
+
+/** Read-only view of scheduling state exposed to pickers. */
+class SchedContext
+{
+  public:
+    virtual ~SchedContext() = default;
+
+    virtual const std::vector<SimTask>& tasks() const = 0;
+    /** Unsatisfied dependency count of a task. */
+    virtual int RemainingDeps(int task_id) const = 0;
+    /** Tasks that list `task_id` as a dependency. */
+    virtual const std::vector<int>& Consumers(int task_id) const = 0;
+    virtual bool Completed(int task_id) const = 0;
+    virtual double NowMs() const = 0;
+};
+
+/**
+ * Picks which ready task a free processor runs next.
+ * @return a task id from `ready` (checked).
+ */
+using TaskPicker = std::function<int(Unit unit, const std::vector<int>& ready,
+                                     const SchedContext& ctx)>;
+
+/** In-order picker: the naive overlap baseline. */
+TaskPicker FifoPicker();
+
+/** Result of executing a task DAG. */
+struct TimelineResult {
+    double makespan_ms = 0.0;
+    std::array<double, kNumUnits> busy_ms{};
+    std::array<double, kNumUnits> span_start_ms{};
+    std::array<double, kNumUnits> span_end_ms{};
+    std::vector<TaskRecord> records;
+
+    /** Idle fraction of a unit within its own active span (Figure 13). */
+    double BubbleRate(Unit unit) const;
+};
+
+/**
+ * Executes `tasks` and returns the timeline.
+ *
+ * Fatal on dependency cycles. Deterministic given a deterministic picker.
+ */
+TimelineResult RunTimeline(const std::vector<SimTask>& tasks,
+                           const TaskPicker& picker);
+
+/** Convenience: FIFO order. */
+TimelineResult RunTimeline(const std::vector<SimTask>& tasks);
+
+}  // namespace llmnpu
+
+#endif  // LLMNPU_SIM_TIMELINE_H

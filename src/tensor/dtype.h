@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Element types supported by the llmnpu tensor library.
+ */
+#ifndef LLMNPU_TENSOR_DTYPE_H
+#define LLMNPU_TENSOR_DTYPE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "src/util/check.h"
+
+namespace llmnpu {
+
+/**
+ * Element type of a Tensor.
+ *
+ * kF32 stands in for both FP32 and FP16 numerics: the paper's "float"
+ * operators (Attention, LayerNorm) are accuracy-preserving either way, and
+ * the timing plane prices FP16 separately from the numeric plane.
+ */
+enum class DType : uint8_t {
+    kF32,  ///< 32-bit float (also models FP16 numerics).
+    kI8,   ///< 8-bit signed integer (quantized weights/activations).
+    kI32,  ///< 32-bit accumulator for W8A8 matmul.
+};
+
+/** Size in bytes of one element. */
+inline size_t
+DTypeSize(DType t)
+{
+    switch (t) {
+      case DType::kF32: return 4;
+      case DType::kI8: return 1;
+      case DType::kI32: return 4;
+    }
+    LLMNPU_CHECK(false);
+    return 0;
+}
+
+/** Human-readable name. */
+inline std::string
+DTypeName(DType t)
+{
+    switch (t) {
+      case DType::kF32: return "f32";
+      case DType::kI8: return "i8";
+      case DType::kI32: return "i32";
+    }
+    return "?";
+}
+
+}  // namespace llmnpu
+
+#endif  // LLMNPU_TENSOR_DTYPE_H

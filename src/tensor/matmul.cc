@@ -1,0 +1,183 @@
+#include "src/tensor/matmul.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace llmnpu {
+
+Tensor
+MatMulF32(const Tensor& a, const Tensor& b)
+{
+    LLMNPU_CHECK(a.dtype() == DType::kF32);
+    LLMNPU_CHECK(b.dtype() == DType::kF32);
+    LLMNPU_CHECK_EQ(a.Cols(), b.Rows());
+    const int64_t m = a.Rows(), k = a.Cols(), n = b.Cols();
+    Tensor c = Tensor::Zeros({m, n});
+    const float* pa = a.Data<float>();
+    const float* pb = b.Data<float>();
+    float* pc = c.Data<float>();
+    for (int64_t i = 0; i < m; ++i) {
+        for (int64_t kk = 0; kk < k; ++kk) {
+            const float av = pa[i * k + kk];
+            if (av == 0.0f) continue;
+            const float* brow = pb + kk * n;
+            float* crow = pc + i * n;
+            for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+    }
+    return c;
+}
+
+namespace {
+
+/** Shared INT32-accumulation core for the W8A8 kernels. */
+void
+Int8AccumulateRow(const int8_t* a_row, const int8_t* w, int64_t k, int64_t n,
+                  int32_t* acc)
+{
+    std::fill(acc, acc + n, 0);
+    for (int64_t kk = 0; kk < k; ++kk) {
+        const int32_t av = a_row[kk];
+        if (av == 0) continue;
+        const int8_t* wrow = w + kk * n;
+        for (int64_t j = 0; j < n; ++j) acc[j] += av * wrow[j];
+    }
+}
+
+}  // namespace
+
+Tensor
+MatMulW8A8PerTensor(const Tensor& a_q, float a_scale, const Tensor& w_q,
+                    const std::vector<float>& w_scales)
+{
+    LLMNPU_CHECK(a_q.dtype() == DType::kI8);
+    LLMNPU_CHECK(w_q.dtype() == DType::kI8);
+    LLMNPU_CHECK_EQ(a_q.Cols(), w_q.Rows());
+    const int64_t m = a_q.Rows(), k = a_q.Cols(), n = w_q.Cols();
+    LLMNPU_CHECK(w_scales.size() == 1 ||
+                 w_scales.size() == static_cast<size_t>(n));
+    Tensor c = Tensor::Zeros({m, n});
+    const int8_t* pa = a_q.Data<int8_t>();
+    const int8_t* pw = w_q.Data<int8_t>();
+    float* pc = c.Data<float>();
+
+    std::vector<int32_t> acc(static_cast<size_t>(n));
+    for (int64_t i = 0; i < m; ++i) {
+        Int8AccumulateRow(pa + i * k, pw, k, n, acc.data());
+        for (int64_t j = 0; j < n; ++j) {
+            const float ws =
+                w_scales.size() == 1 ? w_scales[0]
+                                     : w_scales[static_cast<size_t>(j)];
+            pc[i * n + j] =
+                static_cast<float>(acc[static_cast<size_t>(j)]) * a_scale * ws;
+        }
+    }
+    return c;
+}
+
+Tensor
+MatMulW8A8RowCol(const Tensor& a_q, const std::vector<float>& a_scales,
+                 const Tensor& w_q, const std::vector<float>& w_scales)
+{
+    LLMNPU_CHECK(a_q.dtype() == DType::kI8);
+    LLMNPU_CHECK(w_q.dtype() == DType::kI8);
+    LLMNPU_CHECK_EQ(a_q.Cols(), w_q.Rows());
+    const int64_t m = a_q.Rows(), k = a_q.Cols(), n = w_q.Cols();
+    LLMNPU_CHECK_EQ(a_scales.size(), static_cast<size_t>(m));
+    LLMNPU_CHECK_EQ(w_scales.size(), static_cast<size_t>(n));
+    Tensor c = Tensor::Zeros({m, n});
+    const int8_t* pa = a_q.Data<int8_t>();
+    const int8_t* pw = w_q.Data<int8_t>();
+    float* pc = c.Data<float>();
+
+    std::vector<int32_t> acc(static_cast<size_t>(n));
+    for (int64_t i = 0; i < m; ++i) {
+        Int8AccumulateRow(pa + i * k, pw, k, n, acc.data());
+        for (int64_t j = 0; j < n; ++j) {
+            pc[i * n + j] = static_cast<float>(acc[static_cast<size_t>(j)]) *
+                            a_scales[static_cast<size_t>(i)] *
+                            w_scales[static_cast<size_t>(j)];
+        }
+    }
+    return c;
+}
+
+Tensor
+MatMulPerGroup(const Tensor& a, const PerGroupWeights& w)
+{
+    LLMNPU_CHECK(a.dtype() == DType::kF32);
+    const int64_t m = a.Rows(), k = a.Cols(), n = w.q.Cols();
+    LLMNPU_CHECK_EQ(k, w.q.Rows());
+    const int g_size = w.group_size;
+    const int groups = w.num_groups;
+
+    Tensor c = Tensor::Zeros({m, n});
+    const float* pa = a.Data<float>();
+    const int8_t* pw = w.q.Data<int8_t>();
+    float* pc = c.Data<float>();
+
+    std::vector<int8_t> a_q(static_cast<size_t>(g_size));
+    std::vector<int32_t> acc(static_cast<size_t>(n));
+    for (int64_t i = 0; i < m; ++i) {
+        for (int g = 0; g < groups; ++g) {
+            const int64_t k0 = static_cast<int64_t>(g) * g_size;
+            // Quantize this activation group (per row, per group scale).
+            float absmax = 0.0f;
+            for (int t = 0; t < g_size; ++t) {
+                absmax = std::max(absmax, std::abs(pa[i * k + k0 + t]));
+            }
+            const float a_scale = absmax > 0.0f ? absmax / 127.0f : 1.0f;
+            const float inv = 1.0f / a_scale;
+            for (int t = 0; t < g_size; ++t) {
+                a_q[static_cast<size_t>(t)] = static_cast<int8_t>(std::clamp(
+                    std::nearbyint(pa[i * k + k0 + t] * inv), -127.0f,
+                    127.0f));
+            }
+            // Sub-tensor INT32 matmul for this group...
+            std::fill(acc.begin(), acc.end(), 0);
+            for (int t = 0; t < g_size; ++t) {
+                const int32_t av = a_q[static_cast<size_t>(t)];
+                if (av == 0) continue;
+                const int8_t* wrow = pw + (k0 + t) * n;
+                for (int64_t j = 0; j < n; ++j) {
+                    acc[static_cast<size_t>(j)] += av * wrow[j];
+                }
+            }
+            // ...followed by the float reduction across groups.
+            for (int64_t j = 0; j < n; ++j) {
+                pc[i * n + j] += static_cast<float>(acc[static_cast<size_t>(j)]) *
+                                 a_scale * w.GroupScale(g, j);
+            }
+        }
+    }
+    return c;
+}
+
+Tensor
+MatMulRowSubset(const Tensor& a_sub, const Tensor& w,
+                const std::vector<int>& rows)
+{
+    LLMNPU_CHECK(a_sub.dtype() == DType::kF32);
+    LLMNPU_CHECK(w.dtype() == DType::kF32);
+    LLMNPU_CHECK_EQ(a_sub.Cols(), static_cast<int64_t>(rows.size()));
+    const int64_t m = a_sub.Rows(), n = w.Cols();
+    Tensor c = Tensor::Zeros({m, n});
+    const float* pa = a_sub.Data<float>();
+    const float* pw = w.Data<float>();
+    float* pc = c.Data<float>();
+    for (int64_t i = 0; i < m; ++i) {
+        for (size_t idx = 0; idx < rows.size(); ++idx) {
+            const float av = pa[i * static_cast<int64_t>(rows.size()) +
+                                static_cast<int64_t>(idx)];
+            if (av == 0.0f) continue;
+            const int64_t kk = rows[idx];
+            LLMNPU_CHECK_LT(kk, w.Rows());
+            const float* wrow = pw + kk * n;
+            float* crow = pc + i * n;
+            for (int64_t j = 0; j < n; ++j) crow[j] += av * wrow[j];
+        }
+    }
+    return c;
+}
+
+}  // namespace llmnpu

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Matrix multiplication kernels: fp32 reference, per-tensor W8A8 (the
+ * NPU-friendly form), and per-group W8A8 (the form that forces sub-tensor
+ * splits plus float reduction on NPUs, Figure 3(b)).
+ */
+#ifndef LLMNPU_TENSOR_MATMUL_H
+#define LLMNPU_TENSOR_MATMUL_H
+
+#include "src/tensor/quantize.h"
+#include "src/tensor/tensor.h"
+
+namespace llmnpu {
+
+/** C = A @ B with A [M x K] f32 and B [K x N] f32. */
+Tensor MatMulF32(const Tensor& a, const Tensor& b);
+
+/**
+ * Per-tensor-activation W8A8 matmul: C = (A_q @ W_q) * a_scale * w_scale[n].
+ *
+ * INT32 accumulation over the full K dimension, one dequantization at the
+ * end — exactly the MatMul shape mobile NPUs accelerate (Figure 3(a)).
+ * Weight scales may be uniform (size 1) or per output channel (size N);
+ * per-output-channel dequantization is a post-accumulation column multiply
+ * and therefore equally NPU-friendly (supported by QNN).
+ */
+Tensor MatMulW8A8PerTensor(const Tensor& a_q, float a_scale,
+                           const Tensor& w_q,
+                           const std::vector<float>& w_scales);
+
+/**
+ * Vector-wise W8A8 matmul (LLM.Int8()-style): per-row activation scales and
+ * per-column weight scales, C[m, n] = acc * a_scales[m] * w_scales[n].
+ */
+Tensor MatMulW8A8RowCol(const Tensor& a_q, const std::vector<float>& a_scales,
+                        const Tensor& w_q,
+                        const std::vector<float>& w_scales);
+
+/**
+ * Per-group W8A8 matmul (Figure 3(b)).
+ *
+ * Activations are quantized per (row, group) on the fly; each group's INT32
+ * partial product is dequantized and accumulated in float, modeling the
+ * "sub-tensor MatMuls + float sum" execution the paper identifies as the
+ * NPU-hostile pattern.
+ *
+ * @param a f32 activations [M x K].
+ * @param w per-group quantized weights [K x N].
+ */
+Tensor MatMulPerGroup(const Tensor& a, const PerGroupWeights& w);
+
+/**
+ * fp32 matmul restricted to a subset of K rows of the weight matrix:
+ * C = A_sub @ W[rows, :], where A_sub is [M x |rows|].
+ *
+ * This is the compact-tensor CPU kernel used by shadow outlier execution:
+ * the extracted outlier channels form A_sub and `rows` are the matching
+ * weight rows.
+ */
+Tensor MatMulRowSubset(const Tensor& a_sub, const Tensor& w,
+                       const std::vector<int>& rows);
+
+}  // namespace llmnpu
+
+#endif  // LLMNPU_TENSOR_MATMUL_H

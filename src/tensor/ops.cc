@@ -1,0 +1,230 @@
+#include "src/tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace llmnpu {
+
+void
+SoftmaxRowsInPlace(Tensor& x)
+{
+    LLMNPU_CHECK_EQ(x.Rank(), 2);
+    const int64_t rows = x.Rows(), cols = x.Cols();
+    float* p = x.Data<float>();
+    for (int64_t r = 0; r < rows; ++r) {
+        float* row = p + r * cols;
+        float mx = row[0];
+        for (int64_t c = 1; c < cols; ++c) mx = std::max(mx, row[c]);
+        double sum = 0.0;
+        for (int64_t c = 0; c < cols; ++c) {
+            row[c] = std::exp(row[c] - mx);
+            sum += row[c];
+        }
+        const float inv = static_cast<float>(1.0 / sum);
+        for (int64_t c = 0; c < cols; ++c) row[c] *= inv;
+    }
+}
+
+Tensor
+LayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta, float eps)
+{
+    LLMNPU_CHECK_EQ(x.Rank(), 2);
+    const int64_t rows = x.Rows(), cols = x.Cols();
+    LLMNPU_CHECK_EQ(gamma.NumElements(), cols);
+    LLMNPU_CHECK_EQ(beta.NumElements(), cols);
+    Tensor out({rows, cols}, DType::kF32);
+    const float* in = x.Data<float>();
+    const float* g = gamma.Data<float>();
+    const float* b = beta.Data<float>();
+    float* o = out.Data<float>();
+    for (int64_t r = 0; r < rows; ++r) {
+        const float* row = in + r * cols;
+        double mean = 0.0;
+        for (int64_t c = 0; c < cols; ++c) mean += row[c];
+        mean /= static_cast<double>(cols);
+        double var = 0.0;
+        for (int64_t c = 0; c < cols; ++c) {
+            const double d = row[c] - mean;
+            var += d * d;
+        }
+        var /= static_cast<double>(cols);
+        const float inv = static_cast<float>(1.0 / std::sqrt(var + eps));
+        for (int64_t c = 0; c < cols; ++c) {
+            o[r * cols + c] =
+                (row[c] - static_cast<float>(mean)) * inv * g[c] + b[c];
+        }
+    }
+    return out;
+}
+
+Tensor
+RMSNorm(const Tensor& x, const Tensor& gamma, float eps)
+{
+    LLMNPU_CHECK_EQ(x.Rank(), 2);
+    const int64_t rows = x.Rows(), cols = x.Cols();
+    LLMNPU_CHECK_EQ(gamma.NumElements(), cols);
+    Tensor out({rows, cols}, DType::kF32);
+    const float* in = x.Data<float>();
+    const float* g = gamma.Data<float>();
+    float* o = out.Data<float>();
+    for (int64_t r = 0; r < rows; ++r) {
+        const float* row = in + r * cols;
+        double ms = 0.0;
+        for (int64_t c = 0; c < cols; ++c) {
+            ms += static_cast<double>(row[c]) * row[c];
+        }
+        ms /= static_cast<double>(cols);
+        const float inv = static_cast<float>(1.0 / std::sqrt(ms + eps));
+        for (int64_t c = 0; c < cols; ++c) {
+            o[r * cols + c] = row[c] * inv * g[c];
+        }
+    }
+    return out;
+}
+
+void
+SiluInPlace(Tensor& x)
+{
+    float* p = x.Data<float>();
+    for (int64_t i = 0; i < x.NumElements(); ++i) {
+        p[i] = p[i] / (1.0f + std::exp(-p[i]));
+    }
+}
+
+void
+GeluInPlace(Tensor& x)
+{
+    constexpr float kSqrt2OverPi = 0.7978845608f;
+    float* p = x.Data<float>();
+    for (int64_t i = 0; i < x.NumElements(); ++i) {
+        const float v = p[i];
+        p[i] = 0.5f * v *
+               (1.0f + std::tanh(kSqrt2OverPi * (v + 0.044715f * v * v * v)));
+    }
+}
+
+Tensor
+Add(const Tensor& a, const Tensor& b)
+{
+    LLMNPU_CHECK(a.shape() == b.shape());
+    Tensor out(a.shape(), DType::kF32);
+    const float* pa = a.Data<float>();
+    const float* pb = b.Data<float>();
+    float* po = out.Data<float>();
+    for (int64_t i = 0; i < a.NumElements(); ++i) po[i] = pa[i] + pb[i];
+    return out;
+}
+
+void
+AddInPlace(Tensor& a, const Tensor& b)
+{
+    LLMNPU_CHECK(a.shape() == b.shape());
+    float* pa = a.Data<float>();
+    const float* pb = b.Data<float>();
+    for (int64_t i = 0; i < a.NumElements(); ++i) pa[i] += pb[i];
+}
+
+Tensor
+Mul(const Tensor& a, const Tensor& b)
+{
+    LLMNPU_CHECK(a.shape() == b.shape());
+    Tensor out(a.shape(), DType::kF32);
+    const float* pa = a.Data<float>();
+    const float* pb = b.Data<float>();
+    float* po = out.Data<float>();
+    for (int64_t i = 0; i < a.NumElements(); ++i) po[i] = pa[i] * pb[i];
+    return out;
+}
+
+void
+ApplyRope(Tensor& x, int num_heads, int head_dim, int64_t pos_offset,
+          float theta)
+{
+    LLMNPU_CHECK_EQ(x.Rank(), 2);
+    LLMNPU_CHECK_EQ(x.Cols(), static_cast<int64_t>(num_heads) * head_dim);
+    LLMNPU_CHECK_EQ(head_dim % 2, 0);
+    const int64_t seq = x.Rows();
+    const int half = head_dim / 2;
+    float* p = x.Data<float>();
+    for (int64_t s = 0; s < seq; ++s) {
+        const double pos = static_cast<double>(pos_offset + s);
+        for (int h = 0; h < num_heads; ++h) {
+            float* head = p + s * x.Cols() + static_cast<int64_t>(h) * head_dim;
+            for (int d = 0; d < half; ++d) {
+                const double freq =
+                    std::pow(static_cast<double>(theta),
+                             -2.0 * static_cast<double>(d) / head_dim);
+                const double angle = pos * freq;
+                const float cos_a = static_cast<float>(std::cos(angle));
+                const float sin_a = static_cast<float>(std::sin(angle));
+                const float x0 = head[d];
+                const float x1 = head[d + half];
+                head[d] = x0 * cos_a - x1 * sin_a;
+                head[d + half] = x0 * sin_a + x1 * cos_a;
+            }
+        }
+    }
+}
+
+Tensor
+CausalAttention(const Tensor& q, const Tensor& k, const Tensor& v,
+                int num_heads, int num_kv_heads, int64_t q_pos_offset)
+{
+    LLMNPU_CHECK_EQ(q.Rank(), 2);
+    LLMNPU_CHECK_EQ(k.Rank(), 2);
+    LLMNPU_CHECK(k.shape() == v.shape());
+    LLMNPU_CHECK_EQ(q.Cols() % num_heads, 0);
+    LLMNPU_CHECK_EQ(k.Cols() % num_kv_heads, 0);
+    LLMNPU_CHECK_EQ(num_heads % num_kv_heads, 0);
+    const int head_dim = static_cast<int>(q.Cols()) / num_heads;
+    LLMNPU_CHECK_EQ(static_cast<int>(k.Cols()) / num_kv_heads, head_dim);
+
+    const int64_t q_len = q.Rows();
+    const int64_t kv_len = k.Rows();
+    LLMNPU_CHECK_GE(kv_len, q_pos_offset + q_len);
+    const int heads_per_kv = num_heads / num_kv_heads;
+    const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim));
+
+    Tensor out = Tensor::Zeros({q_len, q.Cols()});
+    const float* pq = q.Data<float>();
+    const float* pk = k.Data<float>();
+    const float* pv = v.Data<float>();
+    float* po = out.Data<float>();
+
+    std::vector<float> scores;
+    for (int h = 0; h < num_heads; ++h) {
+        const int kv_h = h / heads_per_kv;
+        const int64_t q_off = static_cast<int64_t>(h) * head_dim;
+        const int64_t kv_off = static_cast<int64_t>(kv_h) * head_dim;
+        for (int64_t i = 0; i < q_len; ++i) {
+            const int64_t visible = q_pos_offset + i + 1;  // causal mask
+            scores.assign(static_cast<size_t>(visible), 0.0f);
+            const float* qrow = pq + i * q.Cols() + q_off;
+            float mx = -1e30f;
+            for (int64_t j = 0; j < visible; ++j) {
+                const float* krow = pk + j * k.Cols() + kv_off;
+                float dot = 0.0f;
+                for (int d = 0; d < head_dim; ++d) dot += qrow[d] * krow[d];
+                scores[static_cast<size_t>(j)] = dot * scale;
+                mx = std::max(mx, scores[static_cast<size_t>(j)]);
+            }
+            double sum = 0.0;
+            for (int64_t j = 0; j < visible; ++j) {
+                scores[static_cast<size_t>(j)] =
+                    std::exp(scores[static_cast<size_t>(j)] - mx);
+                sum += scores[static_cast<size_t>(j)];
+            }
+            const float inv = static_cast<float>(1.0 / sum);
+            float* orow = po + i * q.Cols() + q_off;
+            for (int64_t j = 0; j < visible; ++j) {
+                const float w = scores[static_cast<size_t>(j)] * inv;
+                const float* vrow = pv + j * v.Cols() + kv_off;
+                for (int d = 0; d < head_dim; ++d) orow[d] += w * vrow[d];
+            }
+        }
+    }
+    return out;
+}
+
+}  // namespace llmnpu

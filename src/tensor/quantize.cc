@@ -1,0 +1,163 @@
+#include "src/tensor/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace llmnpu {
+
+float
+AbsMax(const Tensor& x)
+{
+    const float* p = x.Data<float>();
+    float m = 0.0f;
+    for (int64_t i = 0; i < x.NumElements(); ++i) {
+        m = std::max(m, std::abs(p[i]));
+    }
+    return m;
+}
+
+QuantParams
+ComputeSymmetricScale(const Tensor& x)
+{
+    QuantParams params;
+    const float absmax = AbsMax(x);
+    params.scale = absmax > 0.0f ? absmax / 127.0f : 1.0f;
+    return params;
+}
+
+Tensor
+QuantizeSymmetric(const Tensor& x, const QuantParams& params)
+{
+    LLMNPU_CHECK(x.dtype() == DType::kF32);
+    LLMNPU_CHECK_GT(params.scale, 0.0f);
+    Tensor out(x.shape(), DType::kI8);
+    const float* in = x.Data<float>();
+    int8_t* q = out.Data<int8_t>();
+    const float inv = 1.0f / params.scale;
+    for (int64_t i = 0; i < x.NumElements(); ++i) {
+        const float scaled = in[i] * inv;
+        const float clamped = std::clamp(std::nearbyint(scaled), -127.0f,
+                                         127.0f);
+        q[i] = static_cast<int8_t>(clamped);
+    }
+    return out;
+}
+
+Tensor
+Dequantize(const Tensor& q, const QuantParams& params)
+{
+    LLMNPU_CHECK(q.dtype() == DType::kI8);
+    Tensor out(q.shape(), DType::kF32);
+    const int8_t* in = q.Data<int8_t>();
+    float* f = out.Data<float>();
+    for (int64_t i = 0; i < q.NumElements(); ++i) {
+        f[i] = static_cast<float>(in[i]) * params.scale;
+    }
+    return out;
+}
+
+PerColumnWeights
+QuantizePerColumn(const Tensor& w)
+{
+    LLMNPU_CHECK(w.dtype() == DType::kF32);
+    LLMNPU_CHECK_EQ(w.Rank(), 2);
+    const int64_t k = w.Rows();
+    const int64_t n = w.Cols();
+    PerColumnWeights out;
+    out.q = Tensor({k, n}, DType::kI8);
+    out.scales.assign(static_cast<size_t>(n), 1.0f);
+
+    const float* src = w.Data<float>();
+    int8_t* dst = out.q.Data<int8_t>();
+    for (int64_t col = 0; col < n; ++col) {
+        float absmax = 0.0f;
+        for (int64_t kk = 0; kk < k; ++kk) {
+            absmax = std::max(absmax, std::abs(src[kk * n + col]));
+        }
+        const float scale = absmax > 0.0f ? absmax / 127.0f : 1.0f;
+        out.scales[static_cast<size_t>(col)] = scale;
+        const float inv = 1.0f / scale;
+        for (int64_t kk = 0; kk < k; ++kk) {
+            dst[kk * n + col] = static_cast<int8_t>(std::clamp(
+                std::nearbyint(src[kk * n + col] * inv), -127.0f, 127.0f));
+        }
+    }
+    return out;
+}
+
+Tensor
+DequantizePerColumn(const PerColumnWeights& w)
+{
+    const int64_t k = w.q.Rows();
+    const int64_t n = w.q.Cols();
+    Tensor out({k, n}, DType::kF32);
+    const int8_t* src = w.q.Data<int8_t>();
+    float* dst = out.Data<float>();
+    for (int64_t kk = 0; kk < k; ++kk) {
+        for (int64_t col = 0; col < n; ++col) {
+            dst[kk * n + col] = static_cast<float>(src[kk * n + col]) *
+                                w.scales[static_cast<size_t>(col)];
+        }
+    }
+    return out;
+}
+
+PerGroupWeights
+QuantizePerGroup(const Tensor& w, int group_size)
+{
+    LLMNPU_CHECK(w.dtype() == DType::kF32);
+    LLMNPU_CHECK_EQ(w.Rank(), 2);
+    LLMNPU_CHECK_GT(group_size, 0);
+    const int64_t k = w.Rows();
+    const int64_t n = w.Cols();
+    LLMNPU_CHECK_EQ(k % group_size, 0);
+
+    PerGroupWeights out;
+    out.group_size = group_size;
+    out.num_groups = static_cast<int>(k / group_size);
+    out.q = Tensor({k, n}, DType::kI8);
+    out.scales.assign(static_cast<size_t>(out.num_groups) *
+                          static_cast<size_t>(n),
+                      1.0f);
+
+    const float* src = w.Data<float>();
+    int8_t* dst = out.q.Data<int8_t>();
+    for (int g = 0; g < out.num_groups; ++g) {
+        const int64_t k0 = static_cast<int64_t>(g) * group_size;
+        for (int64_t col = 0; col < n; ++col) {
+            float absmax = 0.0f;
+            for (int64_t kk = k0; kk < k0 + group_size; ++kk) {
+                absmax = std::max(absmax, std::abs(src[kk * n + col]));
+            }
+            const float scale = absmax > 0.0f ? absmax / 127.0f : 1.0f;
+            out.scales[static_cast<size_t>(g) * n + col] = scale;
+            const float inv = 1.0f / scale;
+            for (int64_t kk = k0; kk < k0 + group_size; ++kk) {
+                const float v = std::clamp(
+                    std::nearbyint(src[kk * n + col] * inv), -127.0f, 127.0f);
+                dst[kk * n + col] = static_cast<int8_t>(v);
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+DequantizePerGroup(const PerGroupWeights& w)
+{
+    const int64_t k = w.q.Rows();
+    const int64_t n = w.q.Cols();
+    Tensor out({k, n}, DType::kF32);
+    const int8_t* src = w.q.Data<int8_t>();
+    float* dst = out.Data<float>();
+    for (int64_t kk = 0; kk < k; ++kk) {
+        const int g = static_cast<int>(kk / w.group_size);
+        for (int64_t col = 0; col < n; ++col) {
+            dst[kk * n + col] = static_cast<float>(src[kk * n + col]) *
+                                w.GroupScale(g, col);
+        }
+    }
+    return out;
+}
+
+}  // namespace llmnpu

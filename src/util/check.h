@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Assertion and fatal-error macros used across the llmnpu code base.
+ *
+ * Follows the gem5 convention: fatal() is for user errors (bad configs,
+ * invalid arguments), panic()/CHECK is for internal invariant violations
+ * that indicate a bug in llmnpu itself.
+ */
+#ifndef LLMNPU_UTIL_CHECK_H
+#define LLMNPU_UTIL_CHECK_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace llmnpu {
+
+/** Terminates the process after printing a user-error message. */
+[[noreturn]] inline void
+FatalError(const char* file, int line, const std::string& msg)
+{
+    std::fprintf(stderr, "fatal: %s:%d: %s\n", file, line, msg.c_str());
+    std::exit(1);
+}
+
+/** Terminates the process after printing an internal-bug message. */
+[[noreturn]] inline void
+PanicError(const char* file, int line, const std::string& msg)
+{
+    std::fprintf(stderr, "panic: %s:%d: %s\n", file, line, msg.c_str());
+    std::abort();
+}
+
+namespace detail {
+
+/** Builds the "lhs vs rhs" payload for binary CHECK_* failures. */
+template <typename A, typename B>
+std::string
+CheckOpMessage(const char* expr, const A& a, const B& b)
+{
+    std::ostringstream oss;
+    oss << "CHECK failed: " << expr << " (lhs=" << a << ", rhs=" << b << ")";
+    return oss.str();
+}
+
+}  // namespace detail
+
+}  // namespace llmnpu
+
+/** Aborts if `cond` is false; use for internal invariants. */
+#define LLMNPU_CHECK(cond)                                                     \
+    do {                                                                       \
+        if (!(cond)) {                                                         \
+            ::llmnpu::PanicError(__FILE__, __LINE__,                           \
+                                 std::string("CHECK failed: ") + #cond);       \
+        }                                                                      \
+    } while (0)
+
+#define LLMNPU_CHECK_OP(op, a, b)                                              \
+    do {                                                                       \
+        if (!((a)op(b))) {                                                     \
+            ::llmnpu::PanicError(                                              \
+                __FILE__, __LINE__,                                            \
+                ::llmnpu::detail::CheckOpMessage(#a " " #op " " #b, (a),       \
+                                                 (b)));                        \
+        }                                                                      \
+    } while (0)
+
+#define LLMNPU_CHECK_EQ(a, b) LLMNPU_CHECK_OP(==, a, b)
+#define LLMNPU_CHECK_NE(a, b) LLMNPU_CHECK_OP(!=, a, b)
+#define LLMNPU_CHECK_LT(a, b) LLMNPU_CHECK_OP(<, a, b)
+#define LLMNPU_CHECK_LE(a, b) LLMNPU_CHECK_OP(<=, a, b)
+#define LLMNPU_CHECK_GT(a, b) LLMNPU_CHECK_OP(>, a, b)
+#define LLMNPU_CHECK_GE(a, b) LLMNPU_CHECK_OP(>=, a, b)
+
+/** Exits with an error message for conditions caused by bad user input. */
+#define LLMNPU_FATAL_IF(cond, msg)                                             \
+    do {                                                                       \
+        if (cond) {                                                            \
+            ::llmnpu::FatalError(__FILE__, __LINE__, (msg));                   \
+        }                                                                      \
+    } while (0)
+
+#endif  // LLMNPU_UTIL_CHECK_H

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Small string-formatting helpers (human-readable bytes, durations,
+ * printf-style std::string formatting).
+ */
+#ifndef LLMNPU_UTIL_FORMAT_H
+#define LLMNPU_UTIL_FORMAT_H
+
+#include <cstdarg>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace llmnpu {
+
+/** printf into a std::string. */
+inline std::string
+StrFormat(const char* fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    char buf[1024];
+    std::vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+    return std::string(buf);
+}
+
+/** "1.50 GB", "342.0 MB", ... */
+inline std::string
+HumanBytes(uint64_t bytes)
+{
+    const double b = static_cast<double>(bytes);
+    if (b >= 1024.0 * 1024.0 * 1024.0) {
+        return StrFormat("%.2f GB", b / (1024.0 * 1024.0 * 1024.0));
+    }
+    if (b >= 1024.0 * 1024.0) return StrFormat("%.1f MB", b / (1024.0 * 1024.0));
+    if (b >= 1024.0) return StrFormat("%.1f KB", b / 1024.0);
+    return StrFormat("%llu B", static_cast<unsigned long long>(bytes));
+}
+
+/** "1.53 s", "412.0 ms", "35.1 us" from a millisecond quantity. */
+inline std::string
+HumanMs(double ms)
+{
+    if (ms >= 1000.0) return StrFormat("%.2f s", ms / 1000.0);
+    if (ms >= 1.0) return StrFormat("%.1f ms", ms);
+    return StrFormat("%.1f us", ms * 1000.0);
+}
+
+}  // namespace llmnpu
+
+#endif  // LLMNPU_UTIL_FORMAT_H

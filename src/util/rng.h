@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generators.
+ *
+ * All synthetic data in llmnpu (weights, corpora, prompt lengths) is drawn
+ * from these generators with explicit seeds so that every test and benchmark
+ * is bit-reproducible across runs and machines.
+ */
+#ifndef LLMNPU_UTIL_RNG_H
+#define LLMNPU_UTIL_RNG_H
+
+#include <cmath>
+#include <cstdint>
+
+namespace llmnpu {
+
+/** SplitMix64: tiny, high-quality seeder / standalone generator. */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    Next()
+    {
+        uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+  private:
+    uint64_t state_;
+};
+
+/**
+ * Xoshiro256** generator: the project-wide default RNG.
+ *
+ * Fast, passes BigCrush, and trivially seedable from a single 64-bit value
+ * via SplitMix64 (the construction recommended by the xoshiro authors).
+ */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x5eed5eed5eedULL)
+    {
+        SplitMix64 sm(seed);
+        for (auto& s : state_) s = sm.Next();
+    }
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    Next()
+    {
+        const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+        const uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = Rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    Uniform()
+    {
+        return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    Uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * Uniform();
+    }
+
+    /** Uniform integer in [0, n). Requires n > 0. */
+    uint64_t
+    UniformInt(uint64_t n)
+    {
+        return Next() % n;  // negligible modulo bias for our n << 2^64
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t
+    UniformInt(int64_t lo, int64_t hi)
+    {
+        return lo + static_cast<int64_t>(UniformInt(
+                        static_cast<uint64_t>(hi - lo + 1)));
+    }
+
+    /** Standard normal via Box-Muller. */
+    double
+    Normal()
+    {
+        if (have_cached_) {
+            have_cached_ = false;
+            return cached_;
+        }
+        double u1 = 0.0;
+        while (u1 <= 1e-12) u1 = Uniform();
+        const double u2 = Uniform();
+        const double r = std::sqrt(-2.0 * std::log(u1));
+        cached_ = r * std::sin(2.0 * M_PI * u2);
+        have_cached_ = true;
+        return r * std::cos(2.0 * M_PI * u2);
+    }
+
+    /** Normal with the given mean and standard deviation. */
+    double
+    Normal(double mean, double stddev)
+    {
+        return mean + stddev * Normal();
+    }
+
+    /** True with probability p. */
+    bool
+    Bernoulli(double p)
+    {
+        return Uniform() < p;
+    }
+
+    /**
+     * Zipf-distributed integer in [0, n) with exponent s.
+     *
+     * Used by the synthetic corpus generator: natural-language token
+     * frequencies are approximately Zipfian. Implemented via rejection
+     * sampling (Devroye), O(1) expected time.
+     */
+    uint64_t
+    Zipf(uint64_t n, double s)
+    {
+        // Rejection-inversion sampling for bounded Zipf.
+        const double b = std::pow(static_cast<double>(n), 1.0 - s);
+        while (true) {
+            const double u = Uniform();
+            const double x = std::pow(u * (b - 1.0) + 1.0, 1.0 / (1.0 - s));
+            const uint64_t k = static_cast<uint64_t>(x);
+            const double ratio = std::pow(x / (k + 1.0), s);
+            if (Uniform() < ratio) return k < n ? k : n - 1;
+        }
+    }
+
+  private:
+    static uint64_t
+    Rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    uint64_t state_[4];
+    bool have_cached_ = false;
+    double cached_ = 0.0;
+};
+
+}  // namespace llmnpu
+
+#endif  // LLMNPU_UTIL_RNG_H

@@ -1,0 +1,76 @@
+#include "src/util/table.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "src/util/check.h"
+
+namespace llmnpu {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers))
+{
+    LLMNPU_CHECK(!headers_.empty());
+}
+
+void
+Table::AddRow(std::vector<std::string> row)
+{
+    LLMNPU_CHECK_EQ(row.size(), headers_.size());
+    rows_.push_back(std::move(row));
+}
+
+std::string
+Table::ToString() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+
+    std::ostringstream oss;
+    auto emit_row = [&](const std::vector<std::string>& cells) {
+        oss << "|";
+        for (size_t c = 0; c < cells.size(); ++c) {
+            oss << " " << cells[c]
+                << std::string(widths[c] - cells[c].size(), ' ') << " |";
+        }
+        oss << "\n";
+    };
+
+    emit_row(headers_);
+    oss << "|";
+    for (size_t c = 0; c < headers_.size(); ++c) {
+        oss << std::string(widths[c] + 2, '-') << "|";
+    }
+    oss << "\n";
+    for (const auto& row : rows_) emit_row(row);
+    return oss.str();
+}
+
+void
+Table::Print() const
+{
+    std::fputs(ToString().c_str(), stdout);
+}
+
+std::string
+Table::Num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+Table::WithPaper(double measured, double paper, int precision)
+{
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "%.*f (paper: %.*f)", precision, measured,
+                  precision, paper);
+    return buf;
+}
+
+}  // namespace llmnpu

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Plain-text table printer used by the benchmark harnesses to emit
+ * paper-style tables ("paper reports X, we measured Y").
+ */
+#ifndef LLMNPU_UTIL_TABLE_H
+#define LLMNPU_UTIL_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace llmnpu {
+
+/**
+ * Accumulates rows of strings and renders an aligned ASCII table.
+ *
+ * Example output:
+ *
+ *     | Matrix A | NPU INT8 | CPU INT8 |
+ *     |----------|----------|----------|
+ *     | 64x2048  | 0.90     | 4.20     |
+ */
+class Table
+{
+  public:
+    /** Creates a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Appends one row; must have as many cells as there are headers. */
+    void AddRow(std::vector<std::string> row);
+
+    /** Renders the table to a string. */
+    std::string ToString() const;
+
+    /** Renders the table to stdout. */
+    void Print() const;
+
+    /** Formats a double with the given precision. */
+    static std::string Num(double v, int precision = 2);
+
+    /** Formats "measured (paper: reference)". */
+    static std::string WithPaper(double measured, double paper,
+                                 int precision = 2);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace llmnpu
+
+#endif  // LLMNPU_UTIL_TABLE_H

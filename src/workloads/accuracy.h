@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Accuracy harness: measures a quantized executor's agreement with the FP16
+ * (fp32 here) reference on synthetic evaluation sets.
+ *
+ * Substitution note (DESIGN.md §2): the paper's LLM benchmarks (LAMBADA,
+ * HellaSwag, WinoGrande, OpenBookQA, MMLU) need trained checkpoints; our
+ * proxy metric is top-1 next-token agreement with the full-precision model —
+ * the quantization-induced prediction flips that drive Table 6's ordering.
+ */
+#ifndef LLMNPU_WORKLOADS_ACCURACY_H
+#define LLMNPU_WORKLOADS_ACCURACY_H
+
+#include <string>
+#include <vector>
+
+#include "src/model/transformer.h"
+
+namespace llmnpu {
+
+/** Agreement between one executor and the fp32 reference. */
+struct AccuracyResult {
+    /** Fraction of eval contexts where argmax(logits) matches FP16. */
+    double top1_agreement = 0.0;
+    /** Mean squared error of final-position logits vs FP16. */
+    double logit_mse = 0.0;
+    int contexts = 0;
+};
+
+/** One named evaluation set (a proxy for a paper benchmark). */
+struct EvalSet {
+    std::string name;
+    std::vector<std::vector<int>> contexts;
+};
+
+/**
+ * Proxy eval sets for the five paper benchmarks; context lengths loosely
+ * track each benchmark's character (LAMBADA long-ish, WinoGrande short...).
+ */
+std::vector<EvalSet> MakeBenchmarkEvalSets(int64_t vocab_size,
+                                           int contexts_per_set = 24,
+                                           uint64_t seed = 0xe5a1);
+
+/**
+ * Evaluates `candidate` against the fp32 reference on `contexts`: for each
+ * context, both run a full prefill and the final-position logits are
+ * compared.
+ */
+AccuracyResult EvaluateAgreement(const Transformer& model,
+                                 LinearExecutor& candidate,
+                                 const std::vector<std::vector<int>>& contexts);
+
+}  // namespace llmnpu
+
+#endif  // LLMNPU_WORKLOADS_ACCURACY_H

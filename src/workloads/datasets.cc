@@ -1,0 +1,62 @@
+#include "src/workloads/datasets.h"
+
+namespace llmnpu {
+
+InferenceRequest
+DatasetProfile::Sample(Rng& rng) const
+{
+    InferenceRequest request;
+    request.prompt_len =
+        static_cast<int>(rng.UniformInt(prompt_min, prompt_max));
+    request.output_len =
+        static_cast<int>(rng.UniformInt(output_min, output_max));
+    return request;
+}
+
+InferenceRequest
+DatasetProfile::Typical() const
+{
+    return {(prompt_min + prompt_max) / 2, (output_min + output_max) / 2};
+}
+
+DatasetProfile
+Longbench2WikiProfile()
+{
+    return {"Longbench-2wiki-Multi-doc-QA", "context-aware QA / email reply",
+            1451, 1672, 2, 4};
+}
+
+DatasetProfile
+LongbenchTriviaQaProfile()
+{
+    return {"Longbench-TriviaQA", "context-aware QA / email reply", 1511,
+            1787, 5, 11};
+}
+
+DatasetProfile
+DroidTaskAppsProfile()
+{
+    return {"DroidTask-apps", "UI automation", 656, 827, 1, 5};
+}
+
+DatasetProfile
+DroidTaskClockProfile()
+{
+    return {"DroidTask-clock", "UI automation", 505, 645, 3, 5};
+}
+
+DatasetProfile
+PersonaChatProfile()
+{
+    return {"Persona-Chat", "chat summary", 488, 584, 35, 57};
+}
+
+std::vector<DatasetProfile>
+PaperDatasets()
+{
+    return {Longbench2WikiProfile(), LongbenchTriviaQaProfile(),
+            DroidTaskAppsProfile(), DroidTaskClockProfile(),
+            PersonaChatProfile()};
+}
+
+}  // namespace llmnpu

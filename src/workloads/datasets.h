@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Mobile-application dataset profiles: prompt/output length distributions
+ * matching the paper's published ranges (Table 5, §2.1) for the LongBench
+ * retrieval sets, the DroidTask UI-automation sets, and Persona-Chat.
+ */
+#ifndef LLMNPU_WORKLOADS_DATASETS_H
+#define LLMNPU_WORKLOADS_DATASETS_H
+
+#include <string>
+#include <vector>
+
+#include "src/engines/engine.h"
+#include "src/util/rng.h"
+
+namespace llmnpu {
+
+/** A dataset as its prompt/output length ranges. */
+struct DatasetProfile {
+    std::string name;
+    std::string application;  ///< the mobile task it simulates (§2.1)
+    int prompt_min = 0;
+    int prompt_max = 0;
+    int output_min = 0;
+    int output_max = 0;
+
+    /** Draws one request from the profile. */
+    InferenceRequest Sample(Rng& rng) const;
+
+    /** The midpoint request (deterministic benchmarking). */
+    InferenceRequest Typical() const;
+};
+
+/** LongBench 2wikimqa: context-aware QA, 1451-1672 / 2-4 tokens. */
+DatasetProfile Longbench2WikiProfile();
+
+/** LongBench TriviaQA: retrieval QA, 1511-1787 / 5-11 tokens. */
+DatasetProfile LongbenchTriviaQaProfile();
+
+/** DroidTask (applications set): UI automation, 656-827 / 1-5 tokens. */
+DatasetProfile DroidTaskAppsProfile();
+
+/** DroidTask (clock set): UI automation, 505-645 / 3-5 tokens. */
+DatasetProfile DroidTaskClockProfile();
+
+/** Persona-Chat: chat summary, 488-584 / 35-57 tokens. */
+DatasetProfile PersonaChatProfile();
+
+/** The five Table 5 datasets, in the paper's order. */
+std::vector<DatasetProfile> PaperDatasets();
+
+}  // namespace llmnpu
+
+#endif  // LLMNPU_WORKLOADS_DATASETS_H

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tests for the shared operator cost helpers (src/engines/op_cost) — the
+ * pricing layer every sequential baseline is built on.
+ */
+#include <gtest/gtest.h>
+
+#include "src/engines/op_cost.h"
+#include "src/sim/calibration.h"
+
+namespace llmnpu {
+namespace {
+
+class OpCostFixture : public ::testing::Test
+{
+  protected:
+    SocSpec soc_ = SocSpec::RedmiK70Pro();
+    ModelConfig qwen_ = Qwen15_1_8B();
+};
+
+TEST_F(OpCostFixture, BlockLinearsSumAllLinears)
+{
+    ExecPolicy policy;
+    const auto& cpu = soc_.Processor(Unit::kCpu);
+    const double block_ms = BlockLinearsMs(qwen_, cpu, 256, policy);
+    // Lower bound: a single fused matmul over all the block's parameters.
+    const double single = cpu.MatMulMs(
+        {256, qwen_.hidden_size,
+         qwen_.LayerLinearParams() / qwen_.hidden_size},
+        policy.linear_format, policy.group_size, false);
+    EXPECT_GE(block_ms, single * 0.8);
+    EXPECT_GT(block_ms, 0.0);
+}
+
+TEST_F(OpCostFixture, SpeedMultiplierScalesLatency)
+{
+    ExecPolicy slow, fast;
+    fast.linear_speed_mult = 2.0;
+    const auto& cpu = soc_.Processor(Unit::kCpu);
+    const double slow_ms = BlockLinearsMs(qwen_, cpu, 512, slow);
+    const double fast_ms = BlockLinearsMs(qwen_, cpu, 512, fast);
+    EXPECT_NEAR(slow_ms / fast_ms, 2.0, 0.15);
+}
+
+TEST_F(OpCostFixture, ThroughputCapBindsLargeBatches)
+{
+    // A tight cap dominates at large M where the native model is fast.
+    ExecPolicy capped;
+    capped.linear_format = ExecFormat::kFp16;
+    capped.linear_tops_cap = 0.05;
+    ExecPolicy uncapped = capped;
+    uncapped.linear_tops_cap = 0.0;
+    const auto& gpu = soc_.Processor(Unit::kGpu);
+    const double capped_ms = BlockLinearsMs(qwen_, gpu, 1024, capped);
+    const double uncapped_ms = BlockLinearsMs(qwen_, gpu, 1024, uncapped);
+    EXPECT_GT(capped_ms, 3.0 * uncapped_ms);
+}
+
+TEST_F(OpCostFixture, SequentialPrefillSuperlinearInPromptLength)
+{
+    // Attention is quadratic in prompt length, so doubling the prompt more
+    // than doubles prefill latency.
+    ExecPolicy policy;
+    const auto& cpu = soc_.Processor(Unit::kCpu);
+    const double t512 = SequentialPrefillMs(qwen_, cpu, 512, policy);
+    const double t1024 = SequentialPrefillMs(qwen_, cpu, 1024, policy);
+    // Linears are linear in M; only the (CPU-cheap) attention is quadratic,
+    // so the growth sits just above 2x and well below the 4x all-attention
+    // bound.
+    EXPECT_GT(t1024, 1.95 * t512);
+    EXPECT_LT(t1024, 4.0 * t512);
+}
+
+TEST_F(OpCostFixture, DecodeTokenIsBandwidthBoundOnCpu)
+{
+    // Table 5: Qwen1.5-1.8B decodes at ~80 ms/token on the CPU backend —
+    // weight streaming (1.2 GB INT8 / 22 GB/s ~ 55 ms) plus overheads.
+    ExecPolicy policy;
+    const auto& cpu = soc_.Processor(Unit::kCpu);
+    const double ms = DecodeTokenMs(qwen_, cpu, 1024, policy);
+    EXPECT_GT(ms, 50.0);
+    EXPECT_LT(ms, 130.0);
+}
+
+TEST_F(OpCostFixture, DecodeSlowerWithLongerContext)
+{
+    ExecPolicy policy;
+    const auto& cpu = soc_.Processor(Unit::kCpu);
+    EXPECT_GT(DecodeTokenMs(qwen_, cpu, 4096, policy),
+              DecodeTokenMs(qwen_, cpu, 128, policy));
+}
+
+TEST_F(OpCostFixture, DecodeMsAccumulatesTokens)
+{
+    ExecPolicy policy;
+    const auto& cpu = soc_.Processor(Unit::kCpu);
+    const double one = DecodeMs(qwen_, cpu, 512, 1, policy);
+    const double ten = DecodeMs(qwen_, cpu, 512, 10, policy);
+    EXPECT_NEAR(ten / one, 10.0, 0.5);
+}
+
+TEST_F(OpCostFixture, GpuDecodeFasterThanCpuDecode)
+{
+    // Figure 18's mechanism: the GPU streams weights faster (30 GB/s).
+    ExecPolicy policy;
+    const double cpu_ms =
+        DecodeTokenMs(qwen_, soc_.Processor(Unit::kCpu), 512, policy);
+    const double gpu_ms =
+        DecodeTokenMs(qwen_, soc_.Processor(Unit::kGpu), 512, policy);
+    EXPECT_LT(gpu_ms, cpu_ms);
+}
+
+TEST_F(OpCostFixture, ActivationBytesScaleWithRowsAndWidth)
+{
+    EXPECT_GT(ActivationBytes(qwen_, 512), ActivationBytes(qwen_, 256));
+    EXPECT_GT(ActivationBytes(Llama2_7B(), 256),
+              ActivationBytes(qwen_, 256));
+}
+
+TEST_F(OpCostFixture, KvCacheBytesMatchFormula)
+{
+    const int64_t kv_dim =
+        static_cast<int64_t>(qwen_.num_kv_heads) * qwen_.head_dim;
+    EXPECT_EQ(KvCacheBytes(qwen_, 100),
+              4 * 2 * 100 * kv_dim * qwen_.num_layers);
+}
+
+TEST_F(OpCostFixture, MqaShrinksKvCache)
+{
+    // Gemma's MQA (1 KV head) stores far less than Qwen's MHA per token,
+    // despite similar hidden size.
+    EXPECT_LT(KvCacheBytes(Gemma2B(), 1024),
+              KvCacheBytes(qwen_, 1024) / 4);
+}
+
+TEST_F(OpCostFixture, PerGroupCostsMoreThanPerTensorEverywhere)
+{
+    ExecPolicy per_tensor, per_group;
+    per_group.linear_format = ExecFormat::kInt8PerGroup;
+    for (Unit unit : {Unit::kCpu, Unit::kNpu}) {
+        const auto& proc = soc_.Processor(unit);
+        EXPECT_GE(BlockLinearsMs(qwen_, proc, 256, per_group),
+                  BlockLinearsMs(qwen_, proc, 256, per_tensor))
+            << UnitName(unit);
+    }
+}
+
+}  // namespace
+}  // namespace llmnpu

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Tests for the float operators (Figure 5's "orange" ops) — including the
+ * load-bearing property of §3.2: chunked causal attention with a KV cache is
+ * exactly equivalent to full-prompt attention.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/tensor/ops.h"
+#include "src/util/rng.h"
+
+namespace llmnpu {
+namespace {
+
+Tensor
+RandomTensor(Rng& rng, std::vector<int64_t> shape)
+{
+    Tensor t(std::move(shape), DType::kF32);
+    float* p = t.Data<float>();
+    for (int64_t i = 0; i < t.NumElements(); ++i) {
+        p[i] = static_cast<float>(rng.Normal());
+    }
+    return t;
+}
+
+TEST(SoftmaxTest, RowsSumToOne)
+{
+    Rng rng(1);
+    Tensor x = RandomTensor(rng, {5, 9});
+    SoftmaxRowsInPlace(x);
+    for (int64_t r = 0; r < 5; ++r) {
+        double sum = 0.0;
+        for (int64_t c = 0; c < 9; ++c) {
+            EXPECT_GT(x.At(r, c), 0.0f);
+            sum += x.At(r, c);
+        }
+        EXPECT_NEAR(sum, 1.0, 1e-5);
+    }
+}
+
+TEST(SoftmaxTest, StableUnderLargeInputs)
+{
+    Tensor x = Tensor::FromValues({1, 3}, {1000.0f, 1000.0f, 999.0f});
+    SoftmaxRowsInPlace(x);
+    EXPECT_FALSE(std::isnan(x.At(0, 0)));
+    EXPECT_NEAR(x.At(0, 0), x.At(0, 1), 1e-6);
+    EXPECT_LT(x.At(0, 2), x.At(0, 0));
+}
+
+TEST(LayerNormTest, ProducesZeroMeanUnitVar)
+{
+    Rng rng(2);
+    Tensor x = RandomTensor(rng, {4, 64});
+    Tensor gamma = Tensor::Full({1, 64}, 1.0f);
+    Tensor beta = Tensor::Zeros({1, 64});
+    Tensor y = LayerNorm(x, gamma, beta);
+    for (int64_t r = 0; r < 4; ++r) {
+        double mean = 0.0, var = 0.0;
+        for (int64_t c = 0; c < 64; ++c) mean += y.At(r, c);
+        mean /= 64.0;
+        for (int64_t c = 0; c < 64; ++c) {
+            var += (y.At(r, c) - mean) * (y.At(r, c) - mean);
+        }
+        var /= 64.0;
+        EXPECT_NEAR(mean, 0.0, 1e-4);
+        EXPECT_NEAR(var, 1.0, 1e-2);
+    }
+}
+
+TEST(LayerNormTest, GammaBetaApplied)
+{
+    Tensor x = Tensor::FromValues({1, 2}, {-1.0f, 1.0f});
+    Tensor gamma = Tensor::FromValues({1, 2}, {2.0f, 2.0f});
+    Tensor beta = Tensor::FromValues({1, 2}, {5.0f, 5.0f});
+    Tensor y = LayerNorm(x, gamma, beta);
+    EXPECT_NEAR(y.At(0, 0), 5.0f - 2.0f, 1e-3);
+    EXPECT_NEAR(y.At(0, 1), 5.0f + 2.0f, 1e-3);
+}
+
+TEST(RmsNormTest, UnitRmsAfterNorm)
+{
+    Rng rng(3);
+    Tensor x = RandomTensor(rng, {3, 128});
+    Tensor gamma = Tensor::Full({1, 128}, 1.0f);
+    Tensor y = RMSNorm(x, gamma);
+    for (int64_t r = 0; r < 3; ++r) {
+        double ms = 0.0;
+        for (int64_t c = 0; c < 128; ++c) ms += y.At(r, c) * y.At(r, c);
+        EXPECT_NEAR(std::sqrt(ms / 128.0), 1.0, 1e-3);
+    }
+}
+
+TEST(RmsNormTest, AmplifiedGainCreatesChannelOutliers)
+{
+    // The mechanism the synthetic weights use to inject activation
+    // outliers: norms are float, so a large gain survives quantization-free.
+    Rng rng(4);
+    Tensor x = RandomTensor(rng, {8, 64});
+    Tensor gamma = Tensor::Full({1, 64}, 1.0f);
+    gamma.Data<float>()[7] = 30.0f;
+    Tensor y = RMSNorm(x, gamma);
+    double hot = 0.0, cold = 0.0;
+    for (int64_t r = 0; r < 8; ++r) {
+        hot += std::abs(y.At(r, 7));
+        for (int64_t c = 0; c < 64; ++c) {
+            if (c != 7) cold += std::abs(y.At(r, c)) / 63.0;
+        }
+    }
+    EXPECT_GT(hot, 10.0 * cold);
+}
+
+TEST(ActivationTest, SiluKnownValues)
+{
+    Tensor x = Tensor::FromValues({1, 3}, {0.0f, 10.0f, -10.0f});
+    SiluInPlace(x);
+    EXPECT_NEAR(x.At(0, 0), 0.0f, 1e-6);
+    EXPECT_NEAR(x.At(0, 1), 10.0f, 1e-3);   // ~identity for large +
+    EXPECT_NEAR(x.At(0, 2), 0.0f, 1e-3);    // ~0 for large -
+}
+
+TEST(ActivationTest, GeluKnownValues)
+{
+    Tensor x = Tensor::FromValues({1, 3}, {0.0f, 5.0f, -5.0f});
+    GeluInPlace(x);
+    EXPECT_NEAR(x.At(0, 0), 0.0f, 1e-6);
+    EXPECT_NEAR(x.At(0, 1), 5.0f, 1e-3);
+    EXPECT_NEAR(x.At(0, 2), 0.0f, 1e-3);
+}
+
+TEST(ElementwiseTest, AddMulAndInPlace)
+{
+    Tensor a = Tensor::FromValues({1, 2}, {1, 2});
+    Tensor b = Tensor::FromValues({1, 2}, {3, 4});
+    EXPECT_EQ(Add(a, b).At(0, 1), 6.0f);
+    EXPECT_EQ(Mul(a, b).At(0, 1), 8.0f);
+    AddInPlace(a, b);
+    EXPECT_EQ(a.At(0, 0), 4.0f);
+}
+
+TEST(RopeTest, PreservesNorm)
+{
+    Rng rng(5);
+    Tensor q = RandomTensor(rng, {4, 32});  // 2 heads x 16
+    double before = 0.0;
+    for (int64_t i = 0; i < q.NumElements(); ++i) {
+        before += q.Data<float>()[i] * q.Data<float>()[i];
+    }
+    ApplyRope(q, 2, 16, 3);
+    double after = 0.0;
+    for (int64_t i = 0; i < q.NumElements(); ++i) {
+        after += q.Data<float>()[i] * q.Data<float>()[i];
+    }
+    EXPECT_NEAR(before, after, before * 1e-5);
+}
+
+TEST(RopeTest, PositionZeroIsIdentity)
+{
+    Rng rng(6);
+    Tensor q = RandomTensor(rng, {1, 16});
+    Tensor orig = q;
+    ApplyRope(q, 1, 16, 0);
+    EXPECT_LT(MaxAbsDiff(q, orig), 1e-6);
+}
+
+TEST(RopeTest, OffsetMatchesInSequencePosition)
+{
+    // Row r with offset p must equal row (r+p) of the same content placed
+    // at offset 0 — the property chunked prefill relies on.
+    Rng rng(7);
+    Tensor base = RandomTensor(rng, {6, 16});
+    Tensor full = base;
+    ApplyRope(full, 1, 16, 0);
+    Tensor tail = base.CopyRows(4, 2);
+    ApplyRope(tail, 1, 16, 4);
+    EXPECT_LT(MaxAbsDiff(tail, full.CopyRows(4, 2)), 1e-5);
+}
+
+TEST(AttentionTest, SingleTokenAttendsToItself)
+{
+    Rng rng(8);
+    Tensor q = RandomTensor(rng, {1, 8});
+    Tensor k = q;
+    Tensor v = RandomTensor(rng, {1, 8});
+    Tensor out = CausalAttention(q, k, v, 1, 1, 0);
+    EXPECT_LT(MaxAbsDiff(out, v), 1e-5);
+}
+
+TEST(AttentionTest, CausalMaskBlocksFuture)
+{
+    // Token 0 must not see token 1: its output is exactly v[0].
+    Rng rng(9);
+    Tensor q = RandomTensor(rng, {2, 8});
+    Tensor k = RandomTensor(rng, {2, 8});
+    Tensor v = RandomTensor(rng, {2, 8});
+    Tensor out = CausalAttention(q, k, v, 1, 1, 0);
+    EXPECT_LT(MaxAbsDiff(out.CopyRows(0, 1), v.CopyRows(0, 1)), 1e-5);
+}
+
+TEST(AttentionTest, GqaSharesKvHeads)
+{
+    // With 2 q-heads per kv-head, duplicated q-head content yields
+    // identical per-head outputs.
+    Rng rng(10);
+    Tensor q({1, 16}, DType::kF32);
+    Tensor head = RandomTensor(rng, {1, 8});
+    for (int64_t d = 0; d < 8; ++d) {
+        q.At(0, d) = head.At(0, d);
+        q.At(0, 8 + d) = head.At(0, d);
+    }
+    Tensor k = RandomTensor(rng, {1, 8});
+    Tensor v = RandomTensor(rng, {1, 8});
+    Tensor out = CausalAttention(q, k, v, 2, 1, 0);
+    EXPECT_LT(MaxAbsDiff(out.CopyRows(0, 1).Reshape({2, 8}).CopyRows(0, 1),
+                         out.CopyRows(0, 1).Reshape({2, 8}).CopyRows(1, 1)),
+              1e-5);
+}
+
+/** The §3.2 exactness property, parameterized over chunk lengths. */
+class ChunkedAttentionTest : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(ChunkedAttentionTest, ChunkedEqualsFull)
+{
+    const int chunk = GetParam();
+    const int seq = 12, heads = 2, kv_heads = 1, head_dim = 8;
+    Rng rng(42);
+    Tensor q = RandomTensor(rng, {seq, heads * head_dim});
+    Tensor k = RandomTensor(rng, {seq, kv_heads * head_dim});
+    Tensor v = RandomTensor(rng, {seq, kv_heads * head_dim});
+
+    Tensor full = CausalAttention(q, k, v, heads, kv_heads, 0);
+
+    for (int start = 0; start < seq; start += chunk) {
+        const int len = std::min(chunk, seq - start);
+        Tensor q_chunk = q.CopyRows(start, len);
+        // K/V visible so far: positions [0, start+len).
+        Tensor k_part = k.CopyRows(0, start + len);
+        Tensor v_part = v.CopyRows(0, start + len);
+        Tensor out = CausalAttention(q_chunk, k_part, v_part, heads,
+                                     kv_heads, start);
+        EXPECT_LT(MaxAbsDiff(out, full.CopyRows(start, len)), 1e-4)
+            << "chunk=" << chunk << " start=" << start;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(ChunkLens, ChunkedAttentionTest,
+                         ::testing::Values(1, 2, 3, 4, 6, 12));
+
+}  // namespace
+}  // namespace llmnpu

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Tests for the baseline quantization algorithms: calibration statistics,
+ * per-algorithm numerics, and the Table 6 accuracy ordering on a model with
+ * injected activation outliers.
+ */
+#include <gtest/gtest.h>
+
+#include "src/model/transformer.h"
+#include "src/quant/baselines.h"
+#include "src/quant/calibration.h"
+#include "src/workloads/accuracy.h"
+#include "src/workloads/corpus.h"
+
+namespace llmnpu {
+namespace {
+
+/** Shared fixture: a tiny outlier-bearing model plus calibration data. */
+class QuantFixture : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        config_ = new ModelConfig(TinyTestConfig());
+        weights_ = new ModelWeights(GenerateSyntheticWeights(*config_));
+        model_ = new Transformer(*weights_);
+        CorpusOptions corpus_options;
+        corpus_options.vocab_size = config_->vocab_size;
+        corpus_options.num_sequences = 6;
+        corpus_options.min_len = 24;
+        corpus_options.max_len = 48;
+        calib_corpus_ = new std::vector<std::vector<int>>(
+            MakeCorpus(corpus_options));
+        calib_ = new CalibrationData(
+            CalibrationData::Collect(*model_, *calib_corpus_));
+
+        CorpusOptions eval_options = corpus_options;
+        eval_options.seed = 0xfeed;
+        eval_options.num_sequences = 10;
+        eval_corpus_ = new std::vector<std::vector<int>>(
+            MakeCorpus(eval_options));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete eval_corpus_;
+        delete calib_;
+        delete calib_corpus_;
+        delete model_;
+        delete weights_;
+        delete config_;
+    }
+
+    double
+    Agreement(LinearExecutor& executor)
+    {
+        return EvaluateAgreement(*model_, executor, *eval_corpus_)
+            .top1_agreement;
+    }
+
+    static ModelConfig* config_;
+    static ModelWeights* weights_;
+    static Transformer* model_;
+    static std::vector<std::vector<int>>* calib_corpus_;
+    static CalibrationData* calib_;
+    static std::vector<std::vector<int>>* eval_corpus_;
+};
+
+ModelConfig* QuantFixture::config_ = nullptr;
+ModelWeights* QuantFixture::weights_ = nullptr;
+Transformer* QuantFixture::model_ = nullptr;
+std::vector<std::vector<int>>* QuantFixture::calib_corpus_ = nullptr;
+CalibrationData* QuantFixture::calib_ = nullptr;
+std::vector<std::vector<int>>* QuantFixture::eval_corpus_ = nullptr;
+
+TEST_F(QuantFixture, CalibrationSeesEveryLinear)
+{
+    for (int l = 0; l < config_->num_layers; ++l) {
+        for (const auto& spec : config_->LayerLinears()) {
+            const auto& stats = calib_->Stats(l, spec.kind);
+            EXPECT_GT(stats.rows_seen, 0) << LinearKindName(spec.kind);
+            EXPECT_EQ(stats.channel_absmax.size(),
+                      static_cast<size_t>(spec.k));
+            EXPECT_GT(stats.tensor_absmax, 0.0f);
+        }
+    }
+}
+
+TEST_F(QuantFixture, CalibrationDetectsInjectedHotChannels)
+{
+    // The hot channels must dominate the qkv-input absmax profile.
+    const auto& stats = calib_->Stats(0, LinearKind::kWq);
+    const float q90 = stats.ChannelAbsmaxQuantile(0.90);
+    int detected = 0;
+    for (int hot : weights_->hot_channels) {
+        if (stats.channel_absmax[static_cast<size_t>(hot)] > q90) ++detected;
+    }
+    EXPECT_GE(detected, static_cast<int>(weights_->hot_channels.size()) - 1);
+}
+
+TEST_F(QuantFixture, ChannelQuantileMonotone)
+{
+    const auto& stats = calib_->Stats(1, LinearKind::kFfnUp);
+    EXPECT_LE(stats.ChannelAbsmaxQuantile(0.5),
+              stats.ChannelAbsmaxQuantile(0.9));
+    EXPECT_LE(stats.ChannelAbsmaxQuantile(0.9),
+              stats.ChannelAbsmaxQuantile(1.0));
+    EXPECT_NEAR(stats.ChannelAbsmaxQuantile(1.0), stats.tensor_absmax,
+                stats.tensor_absmax * 0.25 + 1e-3);
+}
+
+TEST_F(QuantFixture, Fp32ReferenceAgreesWithItself)
+{
+    Fp32LinearExecutor fp32(*weights_);
+    EXPECT_DOUBLE_EQ(Agreement(fp32), 1.0);
+}
+
+TEST_F(QuantFixture, PerGroupAccurateUnderOutliers)
+{
+    KQuantExecutor kquant(*weights_, 32);
+    EXPECT_GE(Agreement(kquant), 0.8);
+}
+
+TEST_F(QuantFixture, AwqAccurate)
+{
+    AwqExecutor awq(*weights_, *calib_);
+    EXPECT_GE(Agreement(awq), 0.8);
+}
+
+TEST_F(QuantFixture, LlmInt8Accurate)
+{
+    LlmInt8Executor int8(*weights_, *calib_);
+    EXPECT_GE(Agreement(int8), 0.8);
+}
+
+TEST_F(QuantFixture, LlmInt8FindsOutlierColumns)
+{
+    LlmInt8Executor int8(*weights_, *calib_);
+    // qkv input: the injected hot channels should be escalated to fp16.
+    EXPECT_GE(int8.NumOutlierChannels(0, LinearKind::kWq), 1u);
+    // And the split must stay sparse.
+    EXPECT_LE(int8.NumOutlierChannels(0, LinearKind::kWq),
+              static_cast<size_t>(config_->hidden_size / 4));
+}
+
+TEST_F(QuantFixture, NaivePerTensorDegradesUnderOutliers)
+{
+    // The §3.3 motivation: plain per-tensor activation quantization is
+    // wrecked by outliers (they inflate the scale and crush normal values).
+    PerTensorExecutor naive(*weights_);
+    KQuantExecutor kquant(*weights_, 32);
+    EXPECT_LE(Agreement(naive), Agreement(kquant));
+}
+
+TEST_F(QuantFixture, SmoothQuantWorstOfTheAccurateFamily)
+{
+    // Table 6: SmoothQuant (static per-tensor) trails K-Quant/LLM.Int8().
+    SmoothQuantExecutor smooth(*weights_, *calib_);
+    LlmInt8Executor int8(*weights_, *calib_);
+    EXPECT_LE(Agreement(smooth), Agreement(int8) + 1e-9);
+}
+
+TEST_F(QuantFixture, ExecutorOutputShapes)
+{
+    Tensor x = Tensor::Zeros({3, config_->hidden_size});
+    x.At(0, 0) = 1.0f;
+    PerTensorExecutor naive(*weights_);
+    KQuantExecutor kquant(*weights_, 32);
+    SmoothQuantExecutor smooth(*weights_, *calib_);
+    LlmInt8Executor int8(*weights_, *calib_);
+    AwqExecutor awq(*weights_, *calib_);
+    for (LinearExecutor* executor :
+         std::initializer_list<LinearExecutor*>{&naive, &kquant, &smooth,
+                                                &int8, &awq}) {
+        Tensor y = executor->Forward(0, LinearKind::kFfnUp, x);
+        EXPECT_EQ(y.Rows(), 3) << executor->Name();
+        EXPECT_EQ(y.Cols(), config_->ffn_hidden) << executor->Name();
+    }
+}
+
+TEST_F(QuantFixture, ExecutorNames)
+{
+    PerTensorExecutor naive(*weights_);
+    EXPECT_EQ(naive.Name(), "PerTensor-W8A8");
+    KQuantExecutor kquant(*weights_, 32);
+    EXPECT_EQ(kquant.Name(), "K-Quant");
+    SmoothQuantExecutor smooth(*weights_, *calib_);
+    EXPECT_EQ(smooth.Name(), "SmoothQuant");
+    LlmInt8Executor int8(*weights_, *calib_);
+    EXPECT_EQ(int8.Name(), "LLM.Int8()");
+    AwqExecutor awq(*weights_, *calib_);
+    EXPECT_EQ(awq.Name(), "AWQ");
+}
+
+TEST_F(QuantFixture, KQuantGroupSizeRespected)
+{
+    KQuantExecutor kquant(*weights_, 16);
+    EXPECT_EQ(kquant.group_size(), 16);
+}
+
+}  // namespace
+}  // namespace llmnpu

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests for the workload layer: corpus determinism, dataset profile ranges
+ * (Table 5), and the accuracy harness.
+ */
+#include <gtest/gtest.h>
+
+#include "src/model/transformer.h"
+#include "src/workloads/accuracy.h"
+#include "src/workloads/corpus.h"
+#include "src/workloads/datasets.h"
+
+namespace llmnpu {
+namespace {
+
+TEST(CorpusTest, DeterministicForSameSeed)
+{
+    CorpusOptions options;
+    EXPECT_EQ(MakeCorpus(options), MakeCorpus(options));
+}
+
+TEST(CorpusTest, DifferentSeedsDiffer)
+{
+    CorpusOptions a, b;
+    b.seed = a.seed + 1;
+    EXPECT_NE(MakeCorpus(a), MakeCorpus(b));
+}
+
+TEST(CorpusTest, RespectsLengthAndVocabBounds)
+{
+    CorpusOptions options;
+    options.vocab_size = 100;
+    options.num_sequences = 20;
+    options.min_len = 5;
+    options.max_len = 9;
+    const auto corpus = MakeCorpus(options);
+    ASSERT_EQ(corpus.size(), 20u);
+    for (const auto& seq : corpus) {
+        EXPECT_GE(seq.size(), 5u);
+        EXPECT_LE(seq.size(), 9u);
+        for (int t : seq) {
+            EXPECT_GE(t, 0);
+            EXPECT_LT(t, 100);
+        }
+    }
+}
+
+TEST(CorpusTest, ZipfMakesLowIdsCommon)
+{
+    CorpusOptions options;
+    options.vocab_size = 1000;
+    options.num_sequences = 50;
+    options.min_len = 64;
+    options.max_len = 64;
+    const auto corpus = MakeCorpus(options);
+    int low = 0, total = 0;
+    for (const auto& seq : corpus) {
+        for (int t : seq) {
+            low += t < 50 ? 1 : 0;
+            ++total;
+        }
+    }
+    EXPECT_GT(static_cast<double>(low) / total, 0.5);
+}
+
+TEST(DatasetTest, PaperProfilesMatchTable5Ranges)
+{
+    const auto datasets = PaperDatasets();
+    ASSERT_EQ(datasets.size(), 5u);
+    EXPECT_EQ(datasets[0].prompt_min, 1451);
+    EXPECT_EQ(datasets[0].prompt_max, 1672);
+    EXPECT_EQ(datasets[1].output_max, 11);
+    EXPECT_EQ(datasets[4].name, "Persona-Chat");
+    EXPECT_EQ(datasets[4].output_min, 35);
+}
+
+TEST(DatasetTest, SamplesWithinRanges)
+{
+    Rng rng(5);
+    for (const auto& dataset : PaperDatasets()) {
+        for (int i = 0; i < 50; ++i) {
+            const InferenceRequest req = dataset.Sample(rng);
+            EXPECT_GE(req.prompt_len, dataset.prompt_min) << dataset.name;
+            EXPECT_LE(req.prompt_len, dataset.prompt_max) << dataset.name;
+            EXPECT_GE(req.output_len, dataset.output_min) << dataset.name;
+            EXPECT_LE(req.output_len, dataset.output_max) << dataset.name;
+        }
+    }
+}
+
+TEST(DatasetTest, TypicalIsMidpoint)
+{
+    const DatasetProfile profile = PersonaChatProfile();
+    const InferenceRequest req = profile.Typical();
+    EXPECT_EQ(req.prompt_len, (488 + 584) / 2);
+    EXPECT_EQ(req.output_len, (35 + 57) / 2);
+}
+
+TEST(EvalSetTest, FiveBenchmarksWithDistinctContent)
+{
+    const auto sets = MakeBenchmarkEvalSets(256, 6);
+    ASSERT_EQ(sets.size(), 5u);
+    EXPECT_EQ(sets[0].name, "LAMBADA");
+    EXPECT_EQ(sets[4].name, "MMLU");
+    EXPECT_NE(sets[0].contexts, sets[1].contexts);
+    for (const auto& set : sets) {
+        EXPECT_EQ(set.contexts.size(), 6u);
+    }
+}
+
+TEST(AccuracyTest, ReferenceAgreesPerfectlyWithItself)
+{
+    const ModelConfig config = TinyTestConfig();
+    ModelWeights weights = GenerateSyntheticWeights(config);
+    Transformer model(weights);
+    Fp32LinearExecutor fp32(weights);
+    CorpusOptions options;
+    options.vocab_size = config.vocab_size;
+    options.num_sequences = 5;
+    options.min_len = 16;
+    options.max_len = 24;
+    const AccuracyResult result =
+        EvaluateAgreement(model, fp32, MakeCorpus(options));
+    EXPECT_EQ(result.contexts, 5);
+    EXPECT_DOUBLE_EQ(result.top1_agreement, 1.0);
+    EXPECT_LT(result.logit_mse, 1e-9);
+}
+
+}  // namespace
+}  // namespace llmnpu
