@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Bench driver: runs every figure/table reproduction binary and writes a
+ * machine-readable summary so each commit leaves a perf-trajectory sample.
+ *
+ * Usage: run_all [--bench-dir DIR] [--out FILE] [--quiet]
+ *   --bench-dir  directory scanned for bench_* binaries
+ *                (default: the directory run_all itself lives in)
+ *   --out        output JSON path (default: BENCH_results.json in the CWD)
+ *   --quiet      discard bench stdout instead of echoing it
+ *
+ * The JSON schema ("llmnpu-bench-v1") is one record per bench with its exit
+ * status and wall time; downstream tooling diffs these files across commits
+ * to track the simulator's own speed and catch benches that start failing.
+ */
+#include <dirent.h>
+#include <sys/wait.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct BenchOutcome {
+    std::string name;
+    int exit_code = -1;
+    double wall_ms = 0.0;
+};
+
+std::string
+DirName(const std::string& path)
+{
+    const size_t slash = path.find_last_of('/');
+    return slash == std::string::npos ? std::string(".")
+                                      : path.substr(0, slash);
+}
+
+/** Single-quotes a path for the shell. */
+std::string
+ShellQuote(const std::string& path)
+{
+    std::string quoted = "'";
+    for (char c : path) {
+        if (c == '\'') {
+            quoted += "'\\''";
+        } else {
+            quoted += c;
+        }
+    }
+    quoted += "'";
+    return quoted;
+}
+
+/** All bench_* binaries in `dir`, sorted by name — the build is the single
+ *  source of truth for what counts as a bench (no list to keep in sync). */
+std::vector<std::string>
+DiscoverBenches(const std::string& dir)
+{
+    std::vector<std::string> names;
+    DIR* handle = opendir(dir.c_str());
+    if (handle == nullptr) return names;
+    while (const dirent* entry = readdir(handle)) {
+        if (std::strncmp(entry->d_name, "bench_", 6) == 0) {
+            names.emplace_back(entry->d_name);
+        }
+    }
+    closedir(handle);
+    std::sort(names.begin(), names.end());
+    return names;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string bench_dir = DirName(argv[0]);
+    std::string out_path = "BENCH_results.json";
+    bool quiet = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--bench-dir") == 0 && i + 1 < argc) {
+            bench_dir = argv[++i];
+        } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--quiet") == 0) {
+            quiet = true;
+        } else {
+            std::fprintf(stderr,
+                         "usage: run_all [--bench-dir DIR] [--out FILE] "
+                         "[--quiet]\n");
+            return 2;
+        }
+    }
+
+    const std::vector<std::string> benches = DiscoverBenches(bench_dir);
+    if (benches.empty()) {
+        std::fprintf(stderr, "run_all: no bench_* binaries in %s\n",
+                     bench_dir.c_str());
+        return 2;
+    }
+
+    std::vector<BenchOutcome> outcomes;
+    int failures = 0;
+    double total_ms = 0.0;
+    for (const std::string& name : benches) {
+        BenchOutcome outcome;
+        outcome.name = name;
+        const std::string cmd = ShellQuote(bench_dir + "/" + name) +
+                                (quiet ? " > /dev/null 2>&1" : "");
+        if (!quiet) std::printf("\n### %s\n", name.c_str());
+        std::fflush(stdout);
+        const auto start = std::chrono::steady_clock::now();
+        const int status = std::system(cmd.c_str());
+        const auto end = std::chrono::steady_clock::now();
+        outcome.wall_ms =
+            std::chrono::duration<double, std::milli>(end - start).count();
+        outcome.exit_code =
+            status < 0 ? status : (WIFEXITED(status) ? WEXITSTATUS(status)
+                                                     : 128);
+        total_ms += outcome.wall_ms;
+        failures += outcome.exit_code == 0 ? 0 : 1;
+        outcomes.push_back(outcome);
+    }
+
+    std::FILE* out = std::fopen(out_path.c_str(), "w");
+    if (out == nullptr) {
+        std::fprintf(stderr, "run_all: cannot write %s\n", out_path.c_str());
+        return 2;
+    }
+    std::fprintf(out, "{\n  \"schema\": \"llmnpu-bench-v1\",\n");
+    std::fprintf(out, "  \"bench_count\": %zu,\n", outcomes.size());
+    std::fprintf(out, "  \"failures\": %d,\n", failures);
+    std::fprintf(out, "  \"total_wall_ms\": %.1f,\n", total_ms);
+    std::fprintf(out, "  \"benches\": [\n");
+    for (size_t i = 0; i < outcomes.size(); ++i) {
+        const BenchOutcome& outcome = outcomes[i];
+        std::fprintf(out,
+                     "    {\"name\": \"%s\", \"status\": \"%s\", "
+                     "\"exit_code\": %d, \"wall_ms\": %.1f}%s\n",
+                     outcome.name.c_str(),
+                     outcome.exit_code == 0 ? "ok" : "failed",
+                     outcome.exit_code, outcome.wall_ms,
+                     i + 1 < outcomes.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+
+    std::printf("\nrun_all: %zu benches, %d failed, %.1f s total -> %s\n",
+                outcomes.size(), failures, total_ms / 1000.0,
+                out_path.c_str());
+    return failures == 0 ? 0 : 1;
+}

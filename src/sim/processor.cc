@@ -76,7 +76,7 @@ double
 ProcessorModel::Int8Tops(const MatMulShape& shape, bool square_optimized) const
 {
     double m = static_cast<double>(shape.m);
-    double tops;
+    double tops = 0.0;
     switch (unit_) {
       case Unit::kNpu: {
         const double square = TableLookup(cal::kNpuInt8TopsTable, m);

@@ -33,11 +33,13 @@ QuantizeSymmetric(const Tensor& x, const QuantParams& params)
     Tensor out(x.shape(), DType::kI8);
     const float* in = x.Data<float>();
     int8_t* q = out.Data<int8_t>();
-    const float inv = 1.0f / params.scale;
+    // The reciprocal is taken in double: a subnormal float scale (absmax
+    // near FLT_MIN / 127) would overflow 1.0f / scale to inf.
+    const double inv = 1.0 / static_cast<double>(params.scale);
     for (int64_t i = 0; i < x.NumElements(); ++i) {
-        const float scaled = in[i] * inv;
-        const float clamped = std::clamp(std::nearbyint(scaled), -127.0f,
-                                         127.0f);
+        const double scaled = static_cast<double>(in[i]) * inv;
+        const double clamped = std::clamp(std::nearbyint(scaled), -127.0,
+                                          127.0);
         q[i] = static_cast<int8_t>(clamped);
     }
     return out;
@@ -76,10 +78,11 @@ QuantizePerColumn(const Tensor& w)
         }
         const float scale = absmax > 0.0f ? absmax / 127.0f : 1.0f;
         out.scales[static_cast<size_t>(col)] = scale;
-        const float inv = 1.0f / scale;
+        const double inv = 1.0 / static_cast<double>(scale);
         for (int64_t kk = 0; kk < k; ++kk) {
             dst[kk * n + col] = static_cast<int8_t>(std::clamp(
-                std::nearbyint(src[kk * n + col] * inv), -127.0f, 127.0f));
+                std::nearbyint(static_cast<double>(src[kk * n + col]) * inv),
+                -127.0, 127.0));
         }
     }
     return out;
@@ -131,10 +134,12 @@ QuantizePerGroup(const Tensor& w, int group_size)
             }
             const float scale = absmax > 0.0f ? absmax / 127.0f : 1.0f;
             out.scales[static_cast<size_t>(g) * n + col] = scale;
-            const float inv = 1.0f / scale;
+            const double inv = 1.0 / static_cast<double>(scale);
             for (int64_t kk = k0; kk < k0 + group_size; ++kk) {
-                const float v = std::clamp(
-                    std::nearbyint(src[kk * n + col] * inv), -127.0f, 127.0f);
+                const double v = std::clamp(
+                    std::nearbyint(static_cast<double>(src[kk * n + col]) *
+                                   inv),
+                    -127.0, 127.0);
                 dst[kk * n + col] = static_cast<int8_t>(v);
             }
         }

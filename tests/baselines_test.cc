@@ -10,15 +10,14 @@
 #include "src/engines/baselines.h"
 #include "src/sim/calibration.h"
 #include "src/sim/npu_runtime.h"
+#include "tests/support/tiny_model.h"
 
 namespace llmnpu {
 namespace {
 
-class BaselineFixture : public ::testing::Test
+class BaselineFixture : public PaperDeviceTest
 {
   protected:
-    SocSpec soc_ = SocSpec::RedmiK70Pro();
-    ModelConfig qwen_ = Qwen15_1_8B();
     ModelConfig gemma_ = Gemma2B();
 };
 

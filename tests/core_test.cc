@@ -14,6 +14,9 @@
 #include "src/tensor/matmul.h"
 #include "src/workloads/accuracy.h"
 #include "src/workloads/corpus.h"
+#include "tests/support/chunk_timings.h"
+#include "tests/support/timeline_asserts.h"
+#include "tests/support/tiny_model.h"
 
 namespace llmnpu {
 namespace {
@@ -108,52 +111,15 @@ TEST(ChunkGraphTest, AttentionBuffersGrowWithKvLen)
 
 // --------------------------------------------------- outlier profile + Eq 1
 
-class ShadowFixture : public ::testing::Test
+class ShadowFixture : public TinyModelTest
 {
   protected:
-    static void
-    SetUpTestSuite()
-    {
-        config_ = new ModelConfig(TinyTestConfig());
-        weights_ = new ModelWeights(GenerateSyntheticWeights(*config_));
-        model_ = new Transformer(*weights_);
-        CorpusOptions corpus_options;
-        corpus_options.vocab_size = config_->vocab_size;
-        corpus_options.num_sequences = 6;
-        corpus_options.min_len = 24;
-        corpus_options.max_len = 48;
-        corpus_ = new std::vector<std::vector<int>>(MakeCorpus(corpus_options));
-        calib_ = new CalibrationData(
-            CalibrationData::Collect(*model_, *corpus_));
-        profile_ = new OutlierProfile(
-            OutlierProfile::Collect(*model_, *calib_, *corpus_));
-    }
-
-    static void
-    TearDownTestSuite()
-    {
-        delete profile_;
-        delete calib_;
-        delete corpus_;
-        delete model_;
-        delete weights_;
-        delete config_;
-    }
-
-    static ModelConfig* config_;
-    static ModelWeights* weights_;
-    static Transformer* model_;
-    static std::vector<std::vector<int>>* corpus_;
-    static CalibrationData* calib_;
-    static OutlierProfile* profile_;
+    const ModelConfig* config_ = &tiny_.config;
+    const ModelWeights* weights_ = &tiny_.weights;
+    const Transformer* model_ = &tiny_.model;
+    const std::vector<std::vector<int>>* corpus_ = &tiny_.calib_corpus;
+    const OutlierProfile* profile_ = &tiny_.profile;
 };
-
-ModelConfig* ShadowFixture::config_ = nullptr;
-ModelWeights* ShadowFixture::weights_ = nullptr;
-Transformer* ShadowFixture::model_ = nullptr;
-std::vector<std::vector<int>>* ShadowFixture::corpus_ = nullptr;
-CalibrationData* ShadowFixture::calib_ = nullptr;
-OutlierProfile* ShadowFixture::profile_ = nullptr;
 
 TEST_F(ShadowFixture, OutliersAreSparse)
 {
@@ -306,28 +272,6 @@ TEST_F(ShadowFixture, ResidentShadowBytesShrinkWithPruning)
 
 // ---------------------------------------------------------------- scheduler
 
-std::vector<std::vector<StageTiming>>
-MakeSyntheticChunkTimings(int num_chunks, int num_layers, double npu_ms,
-                          double cpu_ms, double shadow_ms = 0.0)
-{
-    std::vector<std::vector<StageTiming>> timings(
-        static_cast<size_t>(num_chunks));
-    for (auto& chunk : timings) {
-        chunk.resize(static_cast<size_t>(num_layers) * kStagesPerLayer);
-        for (int l = 0; l < num_layers; ++l) {
-            for (int s = 0; s < kStagesPerLayer; ++s) {
-                const auto stage = static_cast<StageKind>(s);
-                StageTiming t;
-                t.unit = StageOnNpu(stage) ? Unit::kNpu : Unit::kCpu;
-                t.duration_ms = StageOnNpu(stage) ? npu_ms : cpu_ms;
-                if (StageOnNpu(stage)) t.shadow_ms = shadow_ms;
-                chunk[static_cast<size_t>(l * kStagesPerLayer + s)] = t;
-            }
-        }
-    }
-    return timings;
-}
-
 TEST(SchedulerTest, DagSizeAndDependencies)
 {
     const auto timings = MakeSyntheticChunkTimings(3, 2, 1.0, 0.5);
@@ -335,7 +279,9 @@ TEST(SchedulerTest, DagSizeAndDependencies)
     EXPECT_EQ(tasks.size(), 3u * 2u * kStagesPerLayer);
     // First stage of every chunk has no deps (chunks start independently).
     for (const auto& task : tasks) {
-        if (task.stage == 0) EXPECT_TRUE(task.deps.empty());
+        if (task.stage == 0) {
+            EXPECT_TRUE(task.deps.empty());
+        }
     }
 }
 
@@ -377,14 +323,7 @@ TEST(SchedulerTest, ScheduleRespectsDependencies)
     const auto timings = MakeSyntheticChunkTimings(4, 2, 1.0, 0.7);
     const auto tasks = BuildPrefillDag(timings, 2);
     const TimelineResult result = RunTimeline(tasks, OooPicker());
-    for (size_t i = 0; i < tasks.size(); ++i) {
-        for (int dep : tasks[i].deps) {
-            EXPECT_LE(result.records[static_cast<size_t>(dep)].end_ms,
-                      result.records[i].start_ms + 1e-9)
-                << tasks[i].label << " started before dep "
-                << tasks[static_cast<size_t>(dep)].label;
-        }
-    }
+    EXPECT_TRUE(ScheduleRespectsDeps(tasks, result));
 }
 
 TEST(SchedulerTest, OooNotSlowerThanFifoAndReducesBubbles)

@@ -10,15 +10,14 @@
 #include "src/core/llmnpu_engine.h"
 #include "src/engines/baselines.h"
 #include "src/workloads/datasets.h"
+#include "tests/support/tiny_model.h"
 
 namespace llmnpu {
 namespace {
 
-class EngineFixture : public ::testing::Test
+class EngineFixture : public PaperDeviceTest
 {
   protected:
-    SocSpec soc_ = SocSpec::RedmiK70Pro();
-    ModelConfig qwen_ = Qwen15_1_8B();
     InferenceRequest req1024_{1024, 1};
 };
 

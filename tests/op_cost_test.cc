@@ -7,16 +7,13 @@
 
 #include "src/engines/op_cost.h"
 #include "src/sim/calibration.h"
+#include "tests/support/tiny_model.h"
 
 namespace llmnpu {
 namespace {
 
-class OpCostFixture : public ::testing::Test
-{
-  protected:
-    SocSpec soc_ = SocSpec::RedmiK70Pro();
-    ModelConfig qwen_ = Qwen15_1_8B();
-};
+class OpCostFixture : public PaperDeviceTest
+{};
 
 TEST_F(OpCostFixture, BlockLinearsSumAllLinears)
 {

@@ -10,20 +10,10 @@
 
 #include "src/tensor/ops.h"
 #include "src/util/rng.h"
+#include "tests/support/random.h"
 
 namespace llmnpu {
 namespace {
-
-Tensor
-RandomTensor(Rng& rng, std::vector<int64_t> shape)
-{
-    Tensor t(std::move(shape), DType::kF32);
-    float* p = t.Data<float>();
-    for (int64_t i = 0; i < t.NumElements(); ++i) {
-        p[i] = static_cast<float>(rng.Normal());
-    }
-    return t;
-}
 
 TEST(SoftmaxTest, RowsSumToOne)
 {

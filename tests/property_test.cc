@@ -8,6 +8,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
+#include <vector>
 
 #include "src/core/chunk_graph.h"
 #include "src/core/llmnpu_engine.h"
@@ -16,6 +18,7 @@
 #include "src/tensor/matmul.h"
 #include "src/tensor/quantize.h"
 #include "src/util/rng.h"
+#include "tests/support/timeline_asserts.h"
 
 namespace llmnpu {
 namespace {
@@ -53,40 +56,21 @@ TEST_P(TimelinePropertyTest, ConservationLawsOnRandomDags)
     for (const TaskPicker& picker : {FifoPicker(), OooPicker()}) {
         const TimelineResult result = RunTimeline(tasks, picker);
 
-        // (1) Every dependency finishes before its consumer starts.
-        for (size_t i = 0; i < tasks.size(); ++i) {
-            for (int dep : tasks[i].deps) {
-                EXPECT_LE(result.records[static_cast<size_t>(dep)].end_ms,
-                          result.records[i].start_ms + 1e-9);
-            }
-        }
-        // (2) Per-unit busy time equals the sum of task durations (Eq. 4:
-        // one task at a time, no preemption, nothing dropped).
+        // Dependencies respected, one task per unit (Eq. 4), busy-time
+        // conservation — the shared schedule-validity checks.
+        EXPECT_TRUE(ScheduleIsValid(tasks, result));
+
+        // Makespan bounds: at least the busiest unit, at most the sum of
+        // all durations.
         std::array<double, kNumUnits> expected{};
         for (const auto& task : tasks) {
             expected[static_cast<size_t>(task.unit)] += task.duration_ms;
         }
-        for (int u = 0; u < kNumUnits; ++u) {
-            EXPECT_NEAR(result.busy_ms[static_cast<size_t>(u)],
-                        expected[static_cast<size_t>(u)], 1e-9);
-        }
-        // (3) Makespan bounds: at least the busiest unit, at most the sum
-        // of all durations.
         const double total = expected[0] + expected[1] + expected[2];
         const double busiest =
             std::max({expected[0], expected[1], expected[2]});
         EXPECT_GE(result.makespan_ms, busiest - 1e-9);
         EXPECT_LE(result.makespan_ms, total + 1e-9);
-        // (4) No two tasks overlap on the same unit.
-        for (size_t a = 0; a < tasks.size(); ++a) {
-            for (size_t b = a + 1; b < tasks.size(); ++b) {
-                if (tasks[a].unit != tasks[b].unit) continue;
-                const auto& ra = result.records[a];
-                const auto& rb = result.records[b];
-                EXPECT_TRUE(ra.end_ms <= rb.start_ms + 1e-9 ||
-                            rb.end_ms <= ra.start_ms + 1e-9);
-            }
-        }
     }
 }
 
@@ -109,7 +93,19 @@ TEST_P(EngineMonotonicityTest, PrefillGrowsWithPromptLength)
     InferenceEngine* engine =
         engine_idx == 0 ? static_cast<InferenceEngine*>(&ours)
                         : baselines[static_cast<size_t>(engine_idx - 1)].get();
-    if (!engine->SupportsModel(config)) GTEST_SKIP();
+    // Exactly 7 of the 30 grid points skip, by design, matching the §4.1
+    // support matrix: each baseline framework only ships converters and
+    // kernels for the model families its authors ported (MNN lacks
+    // Gemma/Mistral, TFLite only serves its Google-family ports
+    // Gemma/Phi-2, PowerInfer-V2 needs ReLU-family weights and skips
+    // Gemma/Phi-2). The paper's Table 5 reports these cells as "-" too, so
+    // the right behaviour is to skip, not to fake a number. The pinned
+    // matrix itself is asserted by EngineFixture.SupportMatrixMatchesPaper
+    // and BaselineSupportMatrixPinsSkipCount below.
+    if (!engine->SupportsModel(config)) {
+        GTEST_SKIP() << engine->Name() << " does not support " << config.name
+                     << " (see §4.1 support matrix)";
+    }
 
     double prev = 0.0;
     for (int prompt_len : {128, 512, 1536}) {
@@ -125,6 +121,36 @@ TEST_P(EngineMonotonicityTest, PrefillGrowsWithPromptLength)
 INSTANTIATE_TEST_SUITE_P(
     Grid, EngineMonotonicityTest,
     ::testing::Combine(::testing::Range(0, 6), ::testing::Range(0, 5)));
+
+TEST(EnginePropertyTest, BaselineSupportMatrixPinsSkipCount)
+{
+    // Guards the 7 documented skips of the monotonicity grid above: if a
+    // baseline gains or loses model support, this fails so the skip
+    // documentation gets revisited rather than silently drifting.
+    auto baselines = MakePaperBaselines();
+    LlmNpuEngine ours;
+    std::vector<InferenceEngine*> engines = {&ours};
+    for (auto& baseline : baselines) engines.push_back(baseline.get());
+
+    std::vector<std::string> unsupported;
+    for (InferenceEngine* engine : engines) {
+        for (const auto& config : PaperModels()) {
+            if (!engine->SupportsModel(config)) {
+                unsupported.push_back(engine->Name() + "/" + config.name);
+            }
+        }
+    }
+    const std::vector<std::string> expected = {
+        "MNN-CPU/Gemma-2B",
+        "MNN-CPU/Mistral-7B",
+        "TFLite-GPU/Qwen1.5-1.8B",
+        "TFLite-GPU/LlaMA-2-7B",
+        "TFLite-GPU/Mistral-7B",
+        "PowerInfer-V2-NPU/Gemma-2B",
+        "PowerInfer-V2-NPU/Phi-2-2.7B",
+    };
+    EXPECT_EQ(unsupported, expected);
+}
 
 TEST(EnginePropertyTest, DecodeGrowsWithOutputLength)
 {

@@ -11,48 +11,15 @@
 #include "src/quant/calibration.h"
 #include "src/workloads/accuracy.h"
 #include "src/workloads/corpus.h"
+#include "tests/support/tiny_model.h"
 
 namespace llmnpu {
 namespace {
 
 /** Shared fixture: a tiny outlier-bearing model plus calibration data. */
-class QuantFixture : public ::testing::Test
+class QuantFixture : public TinyModelTest
 {
   protected:
-    static void
-    SetUpTestSuite()
-    {
-        config_ = new ModelConfig(TinyTestConfig());
-        weights_ = new ModelWeights(GenerateSyntheticWeights(*config_));
-        model_ = new Transformer(*weights_);
-        CorpusOptions corpus_options;
-        corpus_options.vocab_size = config_->vocab_size;
-        corpus_options.num_sequences = 6;
-        corpus_options.min_len = 24;
-        corpus_options.max_len = 48;
-        calib_corpus_ = new std::vector<std::vector<int>>(
-            MakeCorpus(corpus_options));
-        calib_ = new CalibrationData(
-            CalibrationData::Collect(*model_, *calib_corpus_));
-
-        CorpusOptions eval_options = corpus_options;
-        eval_options.seed = 0xfeed;
-        eval_options.num_sequences = 10;
-        eval_corpus_ = new std::vector<std::vector<int>>(
-            MakeCorpus(eval_options));
-    }
-
-    static void
-    TearDownTestSuite()
-    {
-        delete eval_corpus_;
-        delete calib_;
-        delete calib_corpus_;
-        delete model_;
-        delete weights_;
-        delete config_;
-    }
-
     double
     Agreement(LinearExecutor& executor)
     {
@@ -60,20 +27,12 @@ class QuantFixture : public ::testing::Test
             .top1_agreement;
     }
 
-    static ModelConfig* config_;
-    static ModelWeights* weights_;
-    static Transformer* model_;
-    static std::vector<std::vector<int>>* calib_corpus_;
-    static CalibrationData* calib_;
-    static std::vector<std::vector<int>>* eval_corpus_;
+    const ModelConfig* config_ = &tiny_.config;
+    const ModelWeights* weights_ = &tiny_.weights;
+    const Transformer* model_ = &tiny_.model;
+    const CalibrationData* calib_ = &tiny_.calib;
+    const std::vector<std::vector<int>>* eval_corpus_ = &tiny_.eval_corpus;
 };
-
-ModelConfig* QuantFixture::config_ = nullptr;
-ModelWeights* QuantFixture::weights_ = nullptr;
-Transformer* QuantFixture::model_ = nullptr;
-std::vector<std::vector<int>>* QuantFixture::calib_corpus_ = nullptr;
-CalibrationData* QuantFixture::calib_ = nullptr;
-std::vector<std::vector<int>>* QuantFixture::eval_corpus_ = nullptr;
 
 TEST_F(QuantFixture, CalibrationSeesEveryLinear)
 {

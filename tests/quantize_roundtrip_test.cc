@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Property-based round-trip tests for src/tensor/quantize.cc: across
+ * randomized magnitudes, shapes and seeds, symmetric per-tensor, per-column
+ * and per-group INT8 quantization must satisfy the half-step error bound,
+ * and the degenerate inputs the calibration layer can produce (all-zero,
+ * negative-only, constant, extreme-range tensors) must round-trip safely.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+#include "src/tensor/ops.h"
+#include "src/tensor/quantize.h"
+#include "src/util/rng.h"
+#include "tests/support/random.h"
+
+namespace llmnpu {
+namespace {
+
+/** Fills a tensor with Uniform(lo, hi) entries. */
+Tensor
+UniformTensor(Rng& rng, std::vector<int64_t> shape, double lo, double hi)
+{
+    Tensor t(std::move(shape), DType::kF32);
+    float* p = t.Data<float>();
+    for (int64_t i = 0; i < t.NumElements(); ++i) {
+        p[i] = static_cast<float>(rng.Uniform(lo, hi));
+    }
+    return t;
+}
+
+// ------------------------------------------------------ per-tensor round trip
+
+/** (seed, magnitude exponent): tensors with entries ~ Normal(0, 10^e). */
+class PerTensorRoundTrip
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int>>
+{};
+
+TEST_P(PerTensorRoundTrip, ErrorBoundedByHalfStep)
+{
+    const auto [seed, exponent] = GetParam();
+    Rng rng(seed);
+    const double magnitude = std::pow(10.0, exponent);
+    Tensor x = RandomTensor(rng, {9, 23}, magnitude);
+    const QuantParams params = ComputeSymmetricScale(x);
+    Tensor round_trip = Dequantize(QuantizeSymmetric(x, params), params);
+    // Round-to-nearest: every surviving value is within half a step; the
+    // absmax element maps to +-127 exactly.
+    EXPECT_LE(MaxAbsDiff(x, round_trip),
+              params.scale * 0.5f * (1.0f + 1e-5f));
+}
+
+TEST_P(PerTensorRoundTrip, QuantizedValuesStayInSymmetricRange)
+{
+    const auto [seed, exponent] = GetParam();
+    Rng rng(seed + 101);
+    Tensor x = RandomTensor(rng, {5, 17}, std::pow(10.0, exponent));
+    Tensor q = QuantizeSymmetric(x, ComputeSymmetricScale(x));
+    const int8_t* p = q.Data<int8_t>();
+    for (int64_t i = 0; i < q.NumElements(); ++i) {
+        EXPECT_GE(p[i], -127);  // -128 is never produced (symmetric grid)
+        EXPECT_LE(p[i], 127);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndMagnitudes, PerTensorRoundTrip,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u),
+                       ::testing::Values(-20, -3, 0, 3, 20)));
+
+TEST(PerTensorEdgeCases, AllZeroTensorRoundTripsExactly)
+{
+    Tensor x = Tensor::Zeros({4, 4});
+    const QuantParams params = ComputeSymmetricScale(x);
+    EXPECT_EQ(params.scale, 1.0f);  // absmax 0 falls back to a unit scale
+    Tensor round_trip = Dequantize(QuantizeSymmetric(x, params), params);
+    EXPECT_EQ(MaxAbsDiff(x, round_trip), 0.0);
+}
+
+TEST(PerTensorEdgeCases, NegativeOnlyTensorKeepsSignAndBound)
+{
+    Rng rng(7);
+    Tensor x({6, 11}, DType::kF32);
+    float* p = x.Data<float>();
+    for (int64_t i = 0; i < x.NumElements(); ++i) {
+        p[i] = static_cast<float>(-std::abs(rng.Normal(0.0, 3.0)) - 0.125);
+    }
+    const QuantParams params = ComputeSymmetricScale(x);
+    Tensor q = QuantizeSymmetric(x, params);
+    const int8_t* qi = q.Data<int8_t>();
+    for (int64_t i = 0; i < q.NumElements(); ++i) EXPECT_LE(qi[i], 0);
+    EXPECT_LE(MaxAbsDiff(x, Dequantize(q, params)),
+              params.scale * 0.5f * (1.0f + 1e-5f));
+}
+
+TEST(PerTensorEdgeCases, ConstantTensorMapsToFullScaleCode)
+{
+    // A constant tensor's absmax lands on code +-127, so the round trip is
+    // exact up to the scale's own float rounding (one ulp of |v|).
+    for (float v : {0.0078125f, 42.0f, -1e6f}) {
+        Tensor x = Tensor::Full({3, 5}, v);
+        const QuantParams params = ComputeSymmetricScale(x);
+        Tensor q = QuantizeSymmetric(x, params);
+        EXPECT_EQ(q.Data<int8_t>()[0], v < 0.0f ? -127 : 127) << "v=" << v;
+        Tensor round_trip = Dequantize(q, params);
+        EXPECT_LE(MaxAbsDiff(x, round_trip), std::abs(v) * 1e-5)
+            << "v=" << v;
+    }
+}
+
+TEST(PerTensorEdgeCases, ExtremeRangesSurviveWithoutNanOrInf)
+{
+    // Near-denormal and near-float-max magnitudes must not overflow the
+    // scale arithmetic.
+    for (double magnitude : {1e-37, 1e37}) {
+        Rng rng(11);
+        Tensor x = UniformTensor(rng, {4, 8}, -magnitude, magnitude);
+        const QuantParams params = ComputeSymmetricScale(x);
+        ASSERT_GT(params.scale, 0.0f);
+        ASSERT_TRUE(std::isfinite(params.scale));
+        Tensor round_trip = Dequantize(QuantizeSymmetric(x, params), params);
+        const float* p = round_trip.Data<float>();
+        for (int64_t i = 0; i < round_trip.NumElements(); ++i) {
+            EXPECT_TRUE(std::isfinite(p[i])) << "magnitude=" << magnitude;
+        }
+        EXPECT_LE(MaxAbsDiff(x, round_trip),
+                  static_cast<double>(params.scale) * 0.5 * (1.0 + 1e-5));
+    }
+}
+
+// ------------------------------------------------------ per-group round trip
+
+/** (seed, group size) over a [64 x 12] weight matrix. */
+class PerGroupRoundTrip
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int>>
+{};
+
+TEST_P(PerGroupRoundTrip, EveryGroupHonorsItsOwnHalfStepBound)
+{
+    const auto [seed, group_size] = GetParam();
+    Rng rng(seed);
+    // Rows span wildly different magnitudes so the per-group scales differ.
+    Tensor w({64, 12}, DType::kF32);
+    for (int64_t r = 0; r < 64; ++r) {
+        const double row_scale = std::pow(10.0, (r % 7) - 3);
+        for (int64_t c = 0; c < 12; ++c) {
+            w.At(r, c) = static_cast<float>(rng.Normal(0.0, row_scale));
+        }
+    }
+    PerGroupWeights pg = QuantizePerGroup(w, group_size);
+    ASSERT_EQ(pg.num_groups, 64 / group_size);
+    ASSERT_EQ(pg.scales.size(),
+              static_cast<size_t>(pg.num_groups) * 12u);
+    Tensor deq = DequantizePerGroup(pg);
+    // The bound holds per (group, column) block with that block's scale —
+    // strictly stronger than a global max-scale bound.
+    for (int g = 0; g < pg.num_groups; ++g) {
+        for (int64_t c = 0; c < 12; ++c) {
+            const float bound =
+                pg.GroupScale(g, c) * 0.5f * (1.0f + 1e-5f);
+            for (int64_t r = static_cast<int64_t>(g) * group_size;
+                 r < static_cast<int64_t>(g + 1) * group_size; ++r) {
+                EXPECT_LE(std::abs(w.At(r, c) - deq.At(r, c)), bound)
+                    << "group=" << g << " r=" << r << " c=" << c;
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedsAndGroups, PerGroupRoundTrip,
+                         ::testing::Combine(::testing::Values(21u, 22u, 23u),
+                                            ::testing::Values(8, 16, 32, 64)));
+
+TEST(PerGroupEdgeCases, ZeroGroupGetsUnitScaleAndExactZeros)
+{
+    Rng rng(31);
+    Tensor w = RandomTensor(rng, {32, 4});
+    // Zero out the second group entirely.
+    for (int64_t r = 8; r < 16; ++r) {
+        for (int64_t c = 0; c < 4; ++c) w.At(r, c) = 0.0f;
+    }
+    PerGroupWeights pg = QuantizePerGroup(w, 8);
+    for (int64_t c = 0; c < 4; ++c) {
+        EXPECT_EQ(pg.GroupScale(1, c), 1.0f);
+    }
+    Tensor deq = DequantizePerGroup(pg);
+    for (int64_t r = 8; r < 16; ++r) {
+        for (int64_t c = 0; c < 4; ++c) EXPECT_EQ(deq.At(r, c), 0.0f);
+    }
+}
+
+TEST(PerGroupEdgeCases, GroupsAreIsolated)
+{
+    // Amplifying one group's rows must not change any other group's codes
+    // or scales — the locality property that makes per-group quantization
+    // robust to row outliers (Figure 3(b)).
+    Rng rng(32);
+    Tensor w = RandomTensor(rng, {48, 6});
+    PerGroupWeights before = QuantizePerGroup(w, 16);
+    for (int64_t r = 16; r < 32; ++r) {
+        for (int64_t c = 0; c < 6; ++c) w.At(r, c) *= 1000.0f;
+    }
+    PerGroupWeights after = QuantizePerGroup(w, 16);
+    for (int g : {0, 2}) {
+        for (int64_t c = 0; c < 6; ++c) {
+            EXPECT_EQ(before.GroupScale(g, c), after.GroupScale(g, c));
+        }
+        for (int64_t r = static_cast<int64_t>(g) * 16;
+             r < static_cast<int64_t>(g + 1) * 16; ++r) {
+            for (int64_t c = 0; c < 6; ++c) {
+                EXPECT_EQ(before.q.Data<int8_t>()[r * 6 + c],
+                          after.q.Data<int8_t>()[r * 6 + c])
+                    << "g=" << g << " r=" << r << " c=" << c;
+            }
+        }
+    }
+}
+
+TEST(PerGroupEdgeCases, SingleGroupMatchesWholeColumnQuantization)
+{
+    // group_size == K degenerates per-group to per-column.
+    Rng rng(33);
+    Tensor w = RandomTensor(rng, {24, 5});
+    PerGroupWeights pg = QuantizePerGroup(w, 24);
+    PerColumnWeights pc = QuantizePerColumn(w);
+    ASSERT_EQ(pg.num_groups, 1);
+    for (int64_t c = 0; c < 5; ++c) {
+        EXPECT_EQ(pg.GroupScale(0, c), pc.scales[static_cast<size_t>(c)]);
+    }
+    EXPECT_TRUE(pg.q.BitEquals(pc.q));
+}
+
+TEST(PerGroupEdgeCases, NegativeOnlyWeightsRoundTrip)
+{
+    Rng rng(34);
+    Tensor w({16, 3}, DType::kF32);
+    for (int64_t r = 0; r < 16; ++r) {
+        for (int64_t c = 0; c < 3; ++c) {
+            w.At(r, c) = static_cast<float>(-std::abs(rng.Normal()) - 0.01);
+        }
+    }
+    PerGroupWeights pg = QuantizePerGroup(w, 4);
+    Tensor deq = DequantizePerGroup(pg);
+    float max_scale = 0.0f;
+    for (float s : pg.scales) max_scale = std::max(max_scale, s);
+    EXPECT_LE(MaxAbsDiff(w, deq), max_scale * 0.5f * (1.0f + 1e-5f));
+    const float* p = deq.Data<float>();
+    for (int64_t i = 0; i < deq.NumElements(); ++i) EXPECT_LE(p[i], 0.0f);
+}
+
+}  // namespace
+}  // namespace llmnpu

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Structural invariants of BuildPrefillDag (§3.4) across randomized
+ * chunk/layer grids: acyclicity, the Equation 2 (cross-chunk attention) and
+ * Equation 3 (intra-chunk pipeline) dependencies, shadow-task gating, and
+ * the strict-chunk-order DAG being a strict superset of the relaxed DAG.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "src/core/scheduler.h"
+#include "src/sim/timeline.h"
+#include "src/util/format.h"
+#include "src/util/rng.h"
+#include "tests/support/chunk_timings.h"
+#include "tests/support/golden.h"
+#include "tests/support/timeline_asserts.h"
+
+namespace llmnpu {
+namespace {
+
+/** A randomized timing grid: random durations, random shadow coverage. */
+std::vector<std::vector<StageTiming>>
+RandomTimings(uint64_t seed, int num_chunks, int num_layers)
+{
+    Rng rng(seed);
+    std::vector<std::vector<StageTiming>> timings(
+        static_cast<size_t>(num_chunks));
+    for (auto& chunk : timings) {
+        chunk.resize(static_cast<size_t>(num_layers) * kStagesPerLayer);
+        for (int l = 0; l < num_layers; ++l) {
+            for (int s = 0; s < kStagesPerLayer; ++s) {
+                const auto stage = static_cast<StageKind>(s);
+                StageTiming t;
+                t.unit = StageOnNpu(stage) ? Unit::kNpu : Unit::kCpu;
+                t.duration_ms = rng.Uniform(0.1, 4.0);
+                if (StageOnNpu(stage) && rng.Bernoulli(0.5)) {
+                    t.shadow_ms = rng.Uniform(0.05, 1.0);
+                }
+                chunk[static_cast<size_t>(l * kStagesPerLayer + s)] = t;
+            }
+        }
+    }
+    return timings;
+}
+
+/**
+ * Independent reconstruction of the expected DAG structure: task ids in
+ * creation order and the producer sets per (chunk, stage) — stage task plus
+ * its shadow task when the timing grid requests one.
+ */
+struct ExpectedDag {
+    // producer task ids per [chunk][stage]
+    std::vector<std::vector<std::vector<int>>> producers;
+    std::set<std::pair<int, int>> edges;  // (consumer, dep)
+    int num_tasks = 0;
+};
+
+ExpectedDag
+BuildExpected(const std::vector<std::vector<StageTiming>>& timings,
+              int num_layers, bool strict_chunk_order)
+{
+    const int num_chunks = static_cast<int>(timings.size());
+    const int stages = num_layers * kStagesPerLayer;
+    ExpectedDag expected;
+    expected.producers.assign(
+        static_cast<size_t>(num_chunks),
+        std::vector<std::vector<int>>(static_cast<size_t>(stages)));
+
+    int next_id = 0;
+    for (int c = 0; c < num_chunks; ++c) {
+        for (int s = 0; s < stages; ++s) {
+            const auto stage = static_cast<StageKind>(s % kStagesPerLayer);
+            std::vector<int> deps;
+            // Equation 3: the previous stage of the same chunk.
+            if (s > 0) {
+                for (int id : expected.producers[static_cast<size_t>(c)]
+                                                [static_cast<size_t>(s - 1)]) {
+                    deps.push_back(id);
+                }
+            }
+            // Equation 2: attention additionally needs every earlier
+            // chunk's K/V producer for this layer.
+            if (StageIsDynamic(stage) && s > 0) {
+                for (int prev = 0; prev < c; ++prev) {
+                    for (int id :
+                         expected.producers[static_cast<size_t>(prev)]
+                                           [static_cast<size_t>(s - 1)]) {
+                        deps.push_back(id);
+                    }
+                }
+            }
+            // Naive overlap: chunks strictly follow the prompt order.
+            if (strict_chunk_order && c > 0 && s == 0) {
+                for (int id : expected.producers[static_cast<size_t>(c - 1)]
+                                                [static_cast<size_t>(
+                                                    stages - 1)]) {
+                    deps.push_back(id);
+                }
+            }
+
+            const int stage_id = next_id++;
+            for (int dep : deps) expected.edges.emplace(stage_id, dep);
+            auto& producers = expected.producers[static_cast<size_t>(c)]
+                                                [static_cast<size_t>(s)];
+            producers.push_back(stage_id);
+            if (timings[static_cast<size_t>(c)][static_cast<size_t>(s)]
+                    .shadow_ms > 0.0) {
+                const int shadow_id = next_id++;
+                for (int dep : deps) expected.edges.emplace(shadow_id, dep);
+                producers.push_back(shadow_id);
+            }
+        }
+    }
+    expected.num_tasks = next_id;
+    return expected;
+}
+
+class DagGridTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int, int>>
+{};
+
+TEST_P(DagGridTest, AcyclicWithExactEq2Eq3EdgeSet)
+{
+    const auto [seed, num_chunks, num_layers] = GetParam();
+    const auto timings = RandomTimings(seed, num_chunks, num_layers);
+    const auto tasks = BuildPrefillDag(timings, num_layers);
+
+    EXPECT_TRUE(DagIsAcyclic(tasks));
+
+    // The edge set is exactly the union of Equation 2, Equation 3 and
+    // shadow-gating edges — nothing missing, nothing extra.
+    const ExpectedDag expected = BuildExpected(timings, num_layers, false);
+    ASSERT_EQ(static_cast<int>(tasks.size()), expected.num_tasks);
+    EXPECT_EQ(DagEdges(tasks), expected.edges);
+}
+
+TEST_P(DagGridTest, AttentionDependsOnEveryEarlierChunksKv)
+{
+    // Equation 2 spelled out: attention of chunk c waits for the QKV
+    // producers (stage + shadow) of chunks 0..c of the same layer.
+    const auto [seed, num_chunks, num_layers] = GetParam();
+    const auto timings = RandomTimings(seed, num_chunks, num_layers);
+    const auto tasks = BuildPrefillDag(timings, num_layers);
+    const ExpectedDag expected = BuildExpected(timings, num_layers, false);
+    const auto edges = DagEdges(tasks);
+
+    for (int c = 0; c < num_chunks; ++c) {
+        for (int l = 0; l < num_layers; ++l) {
+            const int s = l * kStagesPerLayer +
+                          static_cast<int>(StageKind::kAttention);
+            ASSERT_GT(s, 0);
+            const int attn_id = expected.producers[static_cast<size_t>(c)]
+                                                  [static_cast<size_t>(s)]
+                                    .front();
+            for (int prev = 0; prev <= c; ++prev) {
+                for (int dep : expected.producers[static_cast<size_t>(prev)]
+                                                 [static_cast<size_t>(s - 1)]) {
+                    EXPECT_TRUE(edges.count({attn_id, dep}))
+                        << "attention c" << c << ".l" << l
+                        << " missing dep on chunk " << prev;
+                }
+            }
+        }
+    }
+}
+
+TEST_P(DagGridTest, StrictChunkOrderIsStrictEdgeSuperset)
+{
+    const auto [seed, num_chunks, num_layers] = GetParam();
+    const auto timings = RandomTimings(seed, num_chunks, num_layers);
+    const auto relaxed = BuildPrefillDag(timings, num_layers, false);
+    const auto strict = BuildPrefillDag(timings, num_layers, true);
+
+    // Same tasks (ids, units, durations) — only edges differ.
+    ASSERT_EQ(relaxed.size(), strict.size());
+    for (size_t i = 0; i < relaxed.size(); ++i) {
+        EXPECT_EQ(relaxed[i].label, strict[i].label);
+        EXPECT_EQ(relaxed[i].unit, strict[i].unit);
+        EXPECT_EQ(relaxed[i].duration_ms, strict[i].duration_ms);
+    }
+
+    const auto relaxed_edges = DagEdges(relaxed);
+    const auto strict_edges = DagEdges(strict);
+    EXPECT_TRUE(std::includes(strict_edges.begin(), strict_edges.end(),
+                              relaxed_edges.begin(), relaxed_edges.end()));
+    // The extra edges are exactly the chunk-serialization constraints:
+    // chunk c's first stage (and its shadow) on chunk c-1's last producers.
+    std::set<std::pair<int, int>> extra;
+    std::set_difference(strict_edges.begin(), strict_edges.end(),
+                        relaxed_edges.begin(), relaxed_edges.end(),
+                        std::inserter(extra, extra.begin()));
+    const ExpectedDag strict_expected =
+        BuildExpected(timings, num_layers, true);
+    const ExpectedDag relaxed_expected =
+        BuildExpected(timings, num_layers, false);
+    std::set<std::pair<int, int>> expected_extra;
+    std::set_difference(strict_expected.edges.begin(),
+                        strict_expected.edges.end(),
+                        relaxed_expected.edges.begin(),
+                        relaxed_expected.edges.end(),
+                        std::inserter(expected_extra,
+                                      expected_extra.begin()));
+    EXPECT_EQ(extra, expected_extra);
+    if (num_chunks > 1) {
+        EXPECT_FALSE(extra.empty())
+            << "strict order must add edges when there is more than one "
+           "chunk";
+    }
+
+    // Both DAGs schedule validly under both pickers.
+    for (const TaskPicker& picker : {FifoPicker(), OooPicker()}) {
+        EXPECT_TRUE(ScheduleIsValid(relaxed, RunTimeline(relaxed, picker)));
+        EXPECT_TRUE(ScheduleIsValid(strict, RunTimeline(strict, picker)));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, DagGridTest,
+    ::testing::Combine(::testing::Values(101u, 202u, 303u),
+                       ::testing::Values(1, 2, 4, 7),
+                       ::testing::Values(1, 3)));
+
+TEST(DagShapeTest, ShadowTasksSitNextToTheirStageAndShareDeps)
+{
+    const auto timings = MakeSyntheticChunkTimings(2, 2, 1.0, 0.5, 0.25);
+    const auto tasks = BuildPrefillDag(timings, 2);
+    for (size_t i = 0; i + 1 < tasks.size(); ++i) {
+        if (tasks[i + 1].label == tasks[i].label + ".shadow") {
+            EXPECT_EQ(tasks[i + 1].deps, tasks[i].deps) << tasks[i].label;
+            EXPECT_EQ(tasks[i + 1].chunk, tasks[i].chunk);
+            EXPECT_EQ(tasks[i + 1].stage, tasks[i].stage);
+            EXPECT_NE(tasks[i + 1].unit, Unit::kNpu) << tasks[i].label;
+        }
+    }
+}
+
+TEST(DagGoldenTest, TwoChunkOneLayerStructureIsStable)
+{
+    // Full structural dump of a small shadowed DAG; regenerating requires
+    // LLMNPU_UPDATE_GOLDEN=1, which makes accidental scheduler-semantics
+    // changes visible in review as a golden diff.
+    const auto timings = MakeSyntheticChunkTimings(2, 1, 2.0, 1.0, 0.5);
+    const auto tasks = BuildPrefillDag(timings, 1);
+    std::string dump;
+    for (size_t i = 0; i < tasks.size(); ++i) {
+        dump += StrFormat("%02zu %-16s %-4s %4.1fms deps=[", i,
+                          tasks[i].label.c_str(),
+                          UnitName(tasks[i].unit).c_str(),
+                          tasks[i].duration_ms);
+        for (size_t d = 0; d < tasks[i].deps.size(); ++d) {
+            dump += StrFormat("%s%d", d == 0 ? "" : ",", tasks[i].deps[d]);
+        }
+        dump += "]\n";
+    }
+    EXPECT_TRUE(MatchesGolden("prefill_dag_2x1.txt", dump));
+}
+
+}  // namespace
+}  // namespace llmnpu

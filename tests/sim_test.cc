@@ -11,6 +11,7 @@
 #include "src/sim/processor.h"
 #include "src/sim/soc.h"
 #include "src/sim/timeline.h"
+#include "tests/support/timeline_asserts.h"
 
 namespace llmnpu {
 namespace {
@@ -296,10 +297,7 @@ TEST(TimelineTest, OneTaskPerUnitAtATime)
     }
     const TimelineResult result = RunTimeline(tasks);
     EXPECT_DOUBLE_EQ(result.makespan_ms, 8.0);
-    // The records must not overlap.
-    const auto& r0 = result.records[0];
-    const auto& r1 = result.records[1];
-    EXPECT_TRUE(r0.end_ms <= r1.start_ms || r1.end_ms <= r0.start_ms);
+    EXPECT_TRUE(NoIntraUnitOverlap(tasks, result));
 }
 
 TEST(TimelineTest, BubbleRateReflectsIdleGaps)

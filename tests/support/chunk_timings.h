@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Synthetic per-stage timing grids for scheduler tests: every NPU stage
+ * costs `npu_ms`, every float stage `cpu_ms`, with an optional overlapped
+ * shadow task per NPU stage (§3.3).
+ */
+#ifndef LLMNPU_TESTS_SUPPORT_CHUNK_TIMINGS_H
+#define LLMNPU_TESTS_SUPPORT_CHUNK_TIMINGS_H
+
+#include <vector>
+
+#include "src/core/scheduler.h"
+
+namespace llmnpu {
+
+inline std::vector<std::vector<StageTiming>>
+MakeSyntheticChunkTimings(int num_chunks, int num_layers, double npu_ms,
+                          double cpu_ms, double shadow_ms = 0.0)
+{
+    std::vector<std::vector<StageTiming>> timings(
+        static_cast<size_t>(num_chunks));
+    for (auto& chunk : timings) {
+        chunk.resize(static_cast<size_t>(num_layers) * kStagesPerLayer);
+        for (int l = 0; l < num_layers; ++l) {
+            for (int s = 0; s < kStagesPerLayer; ++s) {
+                const auto stage = static_cast<StageKind>(s);
+                StageTiming t;
+                t.unit = StageOnNpu(stage) ? Unit::kNpu : Unit::kCpu;
+                t.duration_ms = StageOnNpu(stage) ? npu_ms : cpu_ms;
+                if (StageOnNpu(stage)) t.shadow_ms = shadow_ms;
+                chunk[static_cast<size_t>(l * kStagesPerLayer + s)] = t;
+            }
+        }
+    }
+    return timings;
+}
+
+}  // namespace llmnpu
+
+#endif  // LLMNPU_TESTS_SUPPORT_CHUNK_TIMINGS_H

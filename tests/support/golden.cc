@@ -1,0 +1,82 @@
+#include "tests/support/golden.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace llmnpu {
+
+double
+RelErr(double actual, double expected, double floor)
+{
+    return std::abs(actual - expected) /
+           std::max(std::abs(expected), floor);
+}
+
+::testing::AssertionResult
+NearRel(double actual, double expected, double rel_tol)
+{
+    const double err = RelErr(actual, expected);
+    if (err <= rel_tol) return ::testing::AssertionSuccess();
+    return ::testing::AssertionFailure()
+           << actual << " differs from " << expected << " by "
+           << err * 100.0 << "% (tolerance " << rel_tol * 100.0 << "%)";
+}
+
+std::string
+GoldenPath(const std::string& name)
+{
+    return std::string(LLMNPU_GOLDEN_DIR) + "/" + name;
+}
+
+::testing::AssertionResult
+MatchesGolden(const std::string& name, const std::string& actual)
+{
+    const std::string path = GoldenPath(name);
+    if (std::getenv("LLMNPU_UPDATE_GOLDEN") != nullptr) {
+        std::ofstream out(path, std::ios::trunc);
+        if (!out) {
+            return ::testing::AssertionFailure()
+                   << "cannot write golden file " << path;
+        }
+        out << actual;
+        return ::testing::AssertionSuccess();
+    }
+
+    std::ifstream in(path);
+    if (!in) {
+        return ::testing::AssertionFailure()
+               << "missing golden file " << path
+               << " (run with LLMNPU_UPDATE_GOLDEN=1 to create it)";
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::string expected = buffer.str();
+    if (expected == actual) return ::testing::AssertionSuccess();
+
+    // Report the first differing line for a readable failure.
+    std::istringstream want(expected), got(actual);
+    std::string want_line, got_line;
+    int line = 1;
+    while (true) {
+        const bool want_ok = static_cast<bool>(std::getline(want, want_line));
+        const bool got_ok = static_cast<bool>(std::getline(got, got_line));
+        if (!want_ok && !got_ok) break;
+        if (!want_ok || !got_ok || want_line != got_line) {
+            return ::testing::AssertionFailure()
+                   << "golden mismatch in " << name << " at line " << line
+                   << "\n  expected: "
+                   << (want_ok ? want_line : std::string("<eof>"))
+                   << "\n  actual:   "
+                   << (got_ok ? got_line : std::string("<eof>"))
+                   << "\n(set LLMNPU_UPDATE_GOLDEN=1 to regenerate)";
+        }
+        ++line;
+    }
+    return ::testing::AssertionFailure()
+           << "golden mismatch in " << name << " (whitespace-only diff)";
+}
+
+}  // namespace llmnpu

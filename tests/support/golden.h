@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Tolerance and golden-file utilities.
+ *
+ * Golden files live in tests/golden/ (LLMNPU_GOLDEN_DIR is injected by the
+ * build). Run a test binary with LLMNPU_UPDATE_GOLDEN=1 to regenerate the
+ * expectations instead of failing on mismatch.
+ */
+#ifndef LLMNPU_TESTS_SUPPORT_GOLDEN_H
+#define LLMNPU_TESTS_SUPPORT_GOLDEN_H
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace llmnpu {
+
+/** |actual - expected| / max(|expected|, floor). */
+double RelErr(double actual, double expected, double floor = 1e-12);
+
+/** Passes when `actual` is within `rel_tol` relative error of `expected`. */
+::testing::AssertionResult NearRel(double actual, double expected,
+                                   double rel_tol);
+
+/** Absolute path of a golden file by name (e.g. "prefill_dag_2x1.txt"). */
+std::string GoldenPath(const std::string& name);
+
+/**
+ * Compares `actual` against the named golden file.
+ *
+ * With LLMNPU_UPDATE_GOLDEN set in the environment, rewrites the golden
+ * file and passes; otherwise a mismatch fails with a unified preview of
+ * the first differing line.
+ */
+::testing::AssertionResult MatchesGolden(const std::string& name,
+                                         const std::string& actual);
+
+}  // namespace llmnpu
+
+#endif  // LLMNPU_TESTS_SUPPORT_GOLDEN_H

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Random test-data generators (previously copy-pasted per suite).
+ */
+#ifndef LLMNPU_TESTS_SUPPORT_RANDOM_H
+#define LLMNPU_TESTS_SUPPORT_RANDOM_H
+
+#include <utility>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+#include "src/util/rng.h"
+
+namespace llmnpu {
+
+/** An f32 tensor with i.i.d. Normal(0, scale) entries. */
+inline Tensor
+RandomTensor(Rng& rng, std::vector<int64_t> shape, double scale = 1.0)
+{
+    Tensor t(std::move(shape), DType::kF32);
+    float* p = t.Data<float>();
+    for (int64_t i = 0; i < t.NumElements(); ++i) {
+        p[i] = static_cast<float>(rng.Normal(0.0, scale));
+    }
+    return t;
+}
+
+}  // namespace llmnpu
+
+#endif  // LLMNPU_TESTS_SUPPORT_RANDOM_H

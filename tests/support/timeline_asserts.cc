@@ -1,0 +1,129 @@
+#include "tests/support/timeline_asserts.h"
+
+#include <array>
+#include <cstddef>
+
+namespace llmnpu {
+namespace {
+
+constexpr double kEpsMs = 1e-9;
+
+const char*
+Label(const std::vector<SimTask>& tasks, size_t id)
+{
+    return tasks[id].label.empty() ? "<unnamed>" : tasks[id].label.c_str();
+}
+
+}  // namespace
+
+std::set<std::pair<int, int>>
+DagEdges(const std::vector<SimTask>& tasks)
+{
+    std::set<std::pair<int, int>> edges;
+    for (size_t i = 0; i < tasks.size(); ++i) {
+        for (int dep : tasks[i].deps) {
+            edges.emplace(static_cast<int>(i), dep);
+        }
+    }
+    return edges;
+}
+
+::testing::AssertionResult
+DagIsAcyclic(const std::vector<SimTask>& tasks)
+{
+    // Dependencies must reference earlier-declared tasks for the id-ordered
+    // walk below to be a topological order; BuildPrefillDag guarantees this
+    // and it implies acyclicity, so check it directly for a crisp message.
+    for (size_t i = 0; i < tasks.size(); ++i) {
+        for (int dep : tasks[i].deps) {
+            if (dep < 0 || static_cast<size_t>(dep) >= tasks.size()) {
+                return ::testing::AssertionFailure()
+                       << "task " << Label(tasks, i) << " (id " << i
+                       << ") has out-of-range dep " << dep;
+            }
+            if (static_cast<size_t>(dep) >= i) {
+                return ::testing::AssertionFailure()
+                       << "task " << Label(tasks, i) << " (id " << i
+                       << ") depends on itself or a later task (id " << dep
+                       << " " << Label(tasks, static_cast<size_t>(dep))
+                       << "): no topological order by id";
+            }
+        }
+    }
+    return ::testing::AssertionSuccess();
+}
+
+::testing::AssertionResult
+ScheduleRespectsDeps(const std::vector<SimTask>& tasks,
+                     const TimelineResult& result)
+{
+    for (size_t i = 0; i < tasks.size(); ++i) {
+        for (int dep : tasks[i].deps) {
+            const auto& producer = result.records[static_cast<size_t>(dep)];
+            const auto& consumer = result.records[i];
+            if (producer.end_ms > consumer.start_ms + kEpsMs) {
+                return ::testing::AssertionFailure()
+                       << Label(tasks, i) << " started at "
+                       << consumer.start_ms << " ms before its dependency "
+                       << Label(tasks, static_cast<size_t>(dep))
+                       << " finished at " << producer.end_ms << " ms";
+            }
+        }
+    }
+    return ::testing::AssertionSuccess();
+}
+
+::testing::AssertionResult
+NoIntraUnitOverlap(const std::vector<SimTask>& tasks,
+                   const TimelineResult& result)
+{
+    for (size_t a = 0; a < tasks.size(); ++a) {
+        for (size_t b = a + 1; b < tasks.size(); ++b) {
+            if (tasks[a].unit != tasks[b].unit) continue;
+            const auto& ra = result.records[a];
+            const auto& rb = result.records[b];
+            if (!(ra.end_ms <= rb.start_ms + kEpsMs ||
+                  rb.end_ms <= ra.start_ms + kEpsMs)) {
+                return ::testing::AssertionFailure()
+                       << Label(tasks, a) << " [" << ra.start_ms << ", "
+                       << ra.end_ms << "] overlaps " << Label(tasks, b)
+                       << " [" << rb.start_ms << ", " << rb.end_ms
+                       << "] on " << UnitName(tasks[a].unit);
+            }
+        }
+    }
+    return ::testing::AssertionSuccess();
+}
+
+::testing::AssertionResult
+BusyTimeConserved(const std::vector<SimTask>& tasks,
+                  const TimelineResult& result)
+{
+    std::array<double, kNumUnits> expected{};
+    for (const auto& task : tasks) {
+        expected[static_cast<size_t>(task.unit)] += task.duration_ms;
+    }
+    for (int u = 0; u < kNumUnits; ++u) {
+        const double busy = result.busy_ms[static_cast<size_t>(u)];
+        const double want = expected[static_cast<size_t>(u)];
+        if (busy < want - kEpsMs || busy > want + kEpsMs) {
+            return ::testing::AssertionFailure()
+                   << UnitName(static_cast<Unit>(u)) << " busy time " << busy
+                   << " ms != sum of task durations " << want << " ms";
+        }
+    }
+    return ::testing::AssertionSuccess();
+}
+
+::testing::AssertionResult
+ScheduleIsValid(const std::vector<SimTask>& tasks,
+                const TimelineResult& result)
+{
+    if (auto deps = ScheduleRespectsDeps(tasks, result); !deps) return deps;
+    if (auto overlap = NoIntraUnitOverlap(tasks, result); !overlap) {
+        return overlap;
+    }
+    return BusyTimeConserved(tasks, result);
+}
+
+}  // namespace llmnpu

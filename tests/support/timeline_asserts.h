@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Assertion helpers for task DAGs and timeline schedules.
+ *
+ * The scheduler invariants (dependencies respected, Equation 4's
+ * one-task-per-unit rule, busy-time conservation, acyclicity) were
+ * re-implemented inline in several suites; these helpers centralize them as
+ * gtest AssertionResults so failures carry the offending task labels.
+ */
+#ifndef LLMNPU_TESTS_SUPPORT_TIMELINE_ASSERTS_H
+#define LLMNPU_TESTS_SUPPORT_TIMELINE_ASSERTS_H
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "src/sim/timeline.h"
+
+namespace llmnpu {
+
+/** All (consumer, dependency) edges of a task DAG. */
+std::set<std::pair<int, int>> DagEdges(const std::vector<SimTask>& tasks);
+
+/** Passes when the DAG has no dependency cycle (topological order exists)
+ *  and every dependency id is a valid earlier-declared task. */
+::testing::AssertionResult DagIsAcyclic(const std::vector<SimTask>& tasks);
+
+/** Passes when every dependency finishes before its consumer starts. */
+::testing::AssertionResult ScheduleRespectsDeps(
+    const std::vector<SimTask>& tasks, const TimelineResult& result);
+
+/** Passes when no two tasks overlap on the same unit (Equation 4). */
+::testing::AssertionResult NoIntraUnitOverlap(
+    const std::vector<SimTask>& tasks, const TimelineResult& result);
+
+/** Passes when per-unit busy time equals the sum of task durations —
+ *  nothing dropped, nothing preempted, nothing run twice. */
+::testing::AssertionResult BusyTimeConserved(
+    const std::vector<SimTask>& tasks, const TimelineResult& result);
+
+/** Runs all schedule checks above against one result. */
+::testing::AssertionResult ScheduleIsValid(const std::vector<SimTask>& tasks,
+                                           const TimelineResult& result);
+
+}  // namespace llmnpu
+
+#endif  // LLMNPU_TESTS_SUPPORT_TIMELINE_ASSERTS_H

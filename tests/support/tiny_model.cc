@@ -1,0 +1,42 @@
+#include "tests/support/tiny_model.h"
+
+namespace llmnpu {
+
+CorpusOptions
+TinyCalibCorpusOptions(const ModelConfig& config)
+{
+    CorpusOptions options;
+    options.vocab_size = config.vocab_size;
+    options.num_sequences = 6;
+    options.min_len = 24;
+    options.max_len = 48;
+    return options;
+}
+
+CorpusOptions
+TinyEvalCorpusOptions(const ModelConfig& config)
+{
+    CorpusOptions options = TinyCalibCorpusOptions(config);
+    options.seed = 0xfeed;
+    options.num_sequences = 10;
+    return options;
+}
+
+TinyModelContext::TinyModelContext()
+    : config(TinyTestConfig()),
+      weights(GenerateSyntheticWeights(config)),
+      model(weights),
+      calib_corpus(MakeCorpus(TinyCalibCorpusOptions(config))),
+      calib(CalibrationData::Collect(model, calib_corpus)),
+      eval_corpus(MakeCorpus(TinyEvalCorpusOptions(config))),
+      profile(OutlierProfile::Collect(model, calib, calib_corpus))
+{}
+
+const TinyModelContext&
+SharedTinyModel()
+{
+    static const TinyModelContext* context = new TinyModelContext();
+    return *context;
+}
+
+}  // namespace llmnpu

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Shared tiny-model fixture for the test suites.
+ *
+ * Several suites (quant, core, model, workloads) need the same expensive
+ * setup: the TinyTestConfig model with synthetic outlier-bearing weights, a
+ * calibration corpus, calibration statistics, an evaluation corpus, and the
+ * offline outlier profile. Building it takes seconds, so it is constructed
+ * once per process and shared read-only; tests create their own executors
+ * and KV caches on top.
+ */
+#ifndef LLMNPU_TESTS_SUPPORT_TINY_MODEL_H
+#define LLMNPU_TESTS_SUPPORT_TINY_MODEL_H
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/core/outlier_profile.h"
+#include "src/model/transformer.h"
+#include "src/model/weights.h"
+#include "src/quant/calibration.h"
+#include "src/sim/soc.h"
+#include "src/workloads/corpus.h"
+
+namespace llmnpu {
+
+/** Everything derived from the tiny test model, built once per process. */
+struct TinyModelContext {
+    ModelConfig config;
+    ModelWeights weights;
+    Transformer model;  ///< references `weights`; context is immovable
+    std::vector<std::vector<int>> calib_corpus;
+    CalibrationData calib;
+    std::vector<std::vector<int>> eval_corpus;
+    OutlierProfile profile;
+
+    TinyModelContext();
+    TinyModelContext(const TinyModelContext&) = delete;
+    TinyModelContext& operator=(const TinyModelContext&) = delete;
+};
+
+/** Corpus options used for the shared calibration corpus (6 x 24..48). */
+CorpusOptions TinyCalibCorpusOptions(const ModelConfig& config);
+
+/** Corpus options used for the shared evaluation corpus (10 x 24..48). */
+CorpusOptions TinyEvalCorpusOptions(const ModelConfig& config);
+
+/** The process-wide shared context (lazily built on first use). */
+const TinyModelContext& SharedTinyModel();
+
+/** Base fixture exposing the shared context as `tiny_`. */
+class TinyModelTest : public ::testing::Test
+{
+  protected:
+    const TinyModelContext& tiny_ = SharedTinyModel();
+};
+
+/** Base fixture for suites running engines on the paper's primary device. */
+class PaperDeviceTest : public ::testing::Test
+{
+  protected:
+    SocSpec soc_ = SocSpec::RedmiK70Pro();
+    ModelConfig qwen_ = Qwen15_1_8B();
+};
+
+}  // namespace llmnpu
+
+#endif  // LLMNPU_TESTS_SUPPORT_TINY_MODEL_H

@@ -13,20 +13,10 @@
 #include "src/tensor/quantize.h"
 #include "src/tensor/tensor.h"
 #include "src/util/rng.h"
+#include "tests/support/random.h"
 
 namespace llmnpu {
 namespace {
-
-Tensor
-RandomTensor(Rng& rng, std::vector<int64_t> shape, double scale = 1.0)
-{
-    Tensor t(std::move(shape), DType::kF32);
-    float* p = t.Data<float>();
-    for (int64_t i = 0; i < t.NumElements(); ++i) {
-        p[i] = static_cast<float>(rng.Normal(0.0, scale));
-    }
-    return t;
-}
 
 TEST(TensorTest, ZerosShapeAndContent)
 {
