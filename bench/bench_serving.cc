@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Serving-layer benchmark: throughput-vs-load curves for llm.npu under
+ * multi-request traffic drawn from the Table 5 dataset mixture.
+ *
+ * Not a paper reproduction — the paper evaluates one request at a time —
+ * but the deployment its §2.1 workloads imply: a shared on-device NPU
+ * serving several apps at once. Sweeps a Poisson arrival rate across the
+ * scheduling policies and reports throughput, TTFT, tail latency, and
+ * goodput under per-request SLOs.
+ *
+ * Machine-readable rows are emitted as "METRIC {json}" lines, which
+ * bench/run_all.cc folds into BENCH_results.json (schema llmnpu-bench-v2).
+ * LLMNPU_SERVING_SMOKE=1 shrinks the sweep for CI smoke runs.
+ */
+#include <cstdlib>
+
+#include "bench/bench_util.h"
+#include "src/core/llmnpu_engine.h"
+#include "src/serving/simulator.h"
+
+namespace llmnpu {
+namespace {
+
+void
+EmitMetric(const char* mode, SchedPolicy policy, double load_rps,
+           double offered_ratio, const ServingReport& report)
+{
+    std::printf(
+        "METRIC {\"bench\": \"serving\", \"mode\": \"%s\", "
+        "\"policy\": \"%s\", \"load_rps\": %.3f, "
+        "\"offered_ratio\": %.2f, \"throughput_rps\": %.3f, "
+        "\"goodput_rps\": %.3f, \"slo_attainment\": %.3f, "
+        "\"ttft_p50_ms\": %.1f, \"ttft_p99_ms\": %.1f, "
+        "\"e2e_p99_ms\": %.1f, \"npu_utilization\": %.3f, "
+        "\"preemptions\": %d}\n",
+        mode, PolicyName(policy).c_str(), load_rps, offered_ratio,
+        report.throughput_rps, report.goodput_rps, report.slo_attainment,
+        report.ttft_p50_ms, report.ttft_p99_ms, report.e2e_p99_ms,
+        report.npu_utilization, report.preemptions);
+}
+
+void
+Run()
+{
+    const bool smoke = std::getenv("LLMNPU_SERVING_SMOKE") != nullptr;
+    BenchHeader(
+        "Serving: continuous batching + SLO-aware scheduling under load",
+        "beyond-paper experiment: the Table 5 workloads as concurrent "
+        "traffic on one shared NPU instead of one request at a time");
+
+    const SocSpec soc = SocSpec::RedmiK70Pro();
+    const ModelConfig config = Qwen15_1_8B();
+    LlmNpuEngine engine;
+    ServingCostModel costs(engine, config, soc);
+    const std::vector<DatasetProfile> mix = PaperDatasets();
+
+    // Offered load is expressed relative to the NPU's saturation rate for
+    // the mixture: 1 / mean isolated prefill occupancy.
+    double mean_prefill_ms = 0.0;
+    for (const DatasetProfile& profile : mix) {
+        mean_prefill_ms +=
+            costs.Costs(profile.Typical()).PrefillMs() /
+            static_cast<double>(mix.size());
+    }
+    const double capacity_rps = 1e3 / mean_prefill_ms;
+    std::printf("\nMixture mean prefill occupancy %.1f ms -> NPU "
+                "saturation ~%.2f req/s\n\n",
+                mean_prefill_ms, capacity_rps);
+
+    const std::vector<double> load_ratios =
+        smoke ? std::vector<double>{0.5, 1.5}
+              : std::vector<double>{0.4, 0.8, 1.2, 2.0};
+    const std::vector<SchedPolicy> policies =
+        smoke ? std::vector<SchedPolicy>{SchedPolicy::kFcfs,
+                                         SchedPolicy::kSloEdf}
+              : std::vector<SchedPolicy>{SchedPolicy::kFcfs,
+                                         SchedPolicy::kShortestPromptFirst,
+                                         SchedPolicy::kSloEdf};
+    const int num_requests = smoke ? 16 : 80;
+
+    Table table({"policy", "load/cap", "req/s", "goodput", "SLO%",
+                 "ttft p50", "ttft p99", "e2e p99", "NPU util", "preempt"});
+    for (double ratio : load_ratios) {
+        const double rate = ratio * capacity_rps;
+        for (SchedPolicy policy : policies) {
+            ServingOptions options;
+            options.policy = policy;
+            options.rate_rps = rate;
+            options.num_requests = num_requests;
+            options.seed = 2026;
+            ServingSimulator sim(costs, mix, options);
+            const ServingReport report = sim.Run().Report();
+            table.AddRow({PolicyName(policy), StrFormat("%.1f", ratio),
+                          StrFormat("%.2f", report.throughput_rps),
+                          StrFormat("%.2f", report.goodput_rps),
+                          StrFormat("%.0f%%", report.slo_attainment * 100),
+                          HumanMs(report.ttft_p50_ms),
+                          HumanMs(report.ttft_p99_ms),
+                          HumanMs(report.e2e_p99_ms),
+                          StrFormat("%.0f%%", report.npu_utilization * 100),
+                          StrFormat("%d", report.preemptions)});
+            EmitMetric("open", policy, rate, ratio, report);
+        }
+    }
+    table.Print();
+
+    // Closed loop: a fixed population of chatty clients (think time 500ms),
+    // the latency-vs-concurrency view of the same machine.
+    std::printf("\nClosed loop (%d clients, 500 ms think time):\n",
+                smoke ? 2 : 6);
+    ServingOptions closed;
+    closed.closed_loop = true;
+    closed.num_clients = smoke ? 2 : 6;
+    closed.think_time_ms = 500.0;
+    closed.num_requests = num_requests;
+    closed.seed = 2026;
+    closed.policy = SchedPolicy::kFcfs;
+    ServingSimulator closed_sim(costs, mix, closed);
+    const ServingReport closed_report = closed_sim.Run().Report();
+    std::printf("  %s\n", closed_report.Summary().c_str());
+    EmitMetric("closed", closed.policy, 0.0, 0.0, closed_report);
+}
+
+}  // namespace
+}  // namespace llmnpu
+
+int
+main()
+{
+    llmnpu::Run();
+    return 0;
+}

@@ -3,15 +3,22 @@
  * Bench driver: runs every figure/table reproduction binary and writes a
  * machine-readable summary so each commit leaves a perf-trajectory sample.
  *
- * Usage: run_all [--bench-dir DIR] [--out FILE] [--quiet]
+ * Usage: run_all [--bench-dir DIR] [--out FILE] [--filter PREFIX] [--quiet]
  *   --bench-dir  directory scanned for bench_* binaries
  *                (default: the directory run_all itself lives in)
  *   --out        output JSON path (default: BENCH_results.json in the CWD)
- *   --quiet      discard bench stdout instead of echoing it
+ *   --filter     only run benches whose name starts with PREFIX
+ *   --quiet      don't echo bench output (stdout is still piped through
+ *                run_all to collect METRIC lines; stderr is discarded)
  *
- * The JSON schema ("llmnpu-bench-v1") is one record per bench with its exit
+ * The JSON schema ("llmnpu-bench-v2") is one record per bench with its exit
  * status and wall time; downstream tooling diffs these files across commits
  * to track the simulator's own speed and catch benches that start failing.
+ *
+ * v2: benches may print lines of the form "METRIC {json-object}"; run_all
+ * collects them verbatim into the bench's "metrics" array, so curve data
+ * (e.g. bench_serving's throughput-vs-load rows) lands in the JSON without
+ * any per-bench parsing here.
  */
 #include <dirent.h>
 #include <sys/wait.h>
@@ -30,6 +37,8 @@ struct BenchOutcome {
     std::string name;
     int exit_code = -1;
     double wall_ms = 0.0;
+    /** JSON objects from the bench's "METRIC {...}" stdout lines. */
+    std::vector<std::string> metrics;
 };
 
 std::string
@@ -81,26 +90,40 @@ main(int argc, char** argv)
 {
     std::string bench_dir = DirName(argv[0]);
     std::string out_path = "BENCH_results.json";
+    std::string filter;
     bool quiet = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--bench-dir") == 0 && i + 1 < argc) {
             bench_dir = argv[++i];
         } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
             out_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--filter") == 0 && i + 1 < argc) {
+            filter = argv[++i];
         } else if (std::strcmp(argv[i], "--quiet") == 0) {
             quiet = true;
         } else {
             std::fprintf(stderr,
                          "usage: run_all [--bench-dir DIR] [--out FILE] "
-                         "[--quiet]\n");
+                         "[--filter PREFIX] [--quiet]\n");
             return 2;
         }
     }
 
-    const std::vector<std::string> benches = DiscoverBenches(bench_dir);
+    std::vector<std::string> benches = DiscoverBenches(bench_dir);
+    if (!filter.empty()) {
+        benches.erase(
+            std::remove_if(benches.begin(), benches.end(),
+                           [&](const std::string& name) {
+                               return name.compare(0, filter.size(),
+                                                   filter) != 0;
+                           }),
+            benches.end());
+    }
     if (benches.empty()) {
-        std::fprintf(stderr, "run_all: no bench_* binaries in %s\n",
-                     bench_dir.c_str());
+        std::fprintf(stderr, "run_all: no bench_* binaries in %s%s\n",
+                     bench_dir.c_str(),
+                     filter.empty() ? ""
+                                    : (" matching " + filter).c_str());
         return 2;
     }
 
@@ -110,12 +133,44 @@ main(int argc, char** argv)
     for (const std::string& name : benches) {
         BenchOutcome outcome;
         outcome.name = name;
+        // Read the bench's stdout through a pipe so METRIC lines can be
+        // captured whether or not the run is quiet.
         const std::string cmd = ShellQuote(bench_dir + "/" + name) +
-                                (quiet ? " > /dev/null 2>&1" : "");
+                                (quiet ? " 2> /dev/null" : "");
         if (!quiet) std::printf("\n### %s\n", name.c_str());
         std::fflush(stdout);
         const auto start = std::chrono::steady_clock::now();
-        const int status = std::system(cmd.c_str());
+        std::FILE* pipe = popen(cmd.c_str(), "r");
+        int status = -1;
+        if (pipe != nullptr) {
+            // fgets returns fixed-size chunks; reassemble full lines so a
+            // METRIC row longer than the buffer is never split (a torn
+            // fragment would corrupt the JSON emitted below).
+            char chunk[4096];
+            std::string line;
+            auto flush_line = [&]() {
+                if (line.compare(0, 7, "METRIC ") == 0) {
+                    std::string metric = line.substr(7);
+                    while (!metric.empty() &&
+                           (metric.back() == '\n' || metric.back() == '\r')) {
+                        metric.pop_back();
+                    }
+                    outcome.metrics.push_back(metric);
+                } else if (!quiet) {
+                    std::fputs(line.c_str(), stdout);
+                }
+                line.clear();
+            };
+            while (std::fgets(chunk, sizeof(chunk), pipe) != nullptr) {
+                line += chunk;
+                if (!line.empty() && line.back() == '\n') flush_line();
+            }
+            if (!line.empty()) {
+                line += '\n';  // bench ended without a trailing newline
+                flush_line();
+            }
+            status = pclose(pipe);
+        }
         const auto end = std::chrono::steady_clock::now();
         outcome.wall_ms =
             std::chrono::duration<double, std::milli>(end - start).count();
@@ -132,7 +187,7 @@ main(int argc, char** argv)
         std::fprintf(stderr, "run_all: cannot write %s\n", out_path.c_str());
         return 2;
     }
-    std::fprintf(out, "{\n  \"schema\": \"llmnpu-bench-v1\",\n");
+    std::fprintf(out, "{\n  \"schema\": \"llmnpu-bench-v2\",\n");
     std::fprintf(out, "  \"bench_count\": %zu,\n", outcomes.size());
     std::fprintf(out, "  \"failures\": %d,\n", failures);
     std::fprintf(out, "  \"total_wall_ms\": %.1f,\n", total_ms);
@@ -141,11 +196,20 @@ main(int argc, char** argv)
         const BenchOutcome& outcome = outcomes[i];
         std::fprintf(out,
                      "    {\"name\": \"%s\", \"status\": \"%s\", "
-                     "\"exit_code\": %d, \"wall_ms\": %.1f}%s\n",
+                     "\"exit_code\": %d, \"wall_ms\": %.1f",
                      outcome.name.c_str(),
                      outcome.exit_code == 0 ? "ok" : "failed",
-                     outcome.exit_code, outcome.wall_ms,
-                     i + 1 < outcomes.size() ? "," : "");
+                     outcome.exit_code, outcome.wall_ms);
+        if (!outcome.metrics.empty()) {
+            std::fprintf(out, ",\n     \"metrics\": [\n");
+            for (size_t m = 0; m < outcome.metrics.size(); ++m) {
+                std::fprintf(out, "       %s%s\n",
+                             outcome.metrics[m].c_str(),
+                             m + 1 < outcome.metrics.size() ? "," : "");
+            }
+            std::fprintf(out, "     ]");
+        }
+        std::fprintf(out, "}%s\n", i + 1 < outcomes.size() ? "," : "");
     }
     std::fprintf(out, "  ]\n}\n");
     std::fclose(out);

@@ -1,0 +1,34 @@
+# CTest script behind the `bench-smoke` label: runs bench_serving at a tiny
+# load through the run_all driver, then asserts the BENCH_results.json it
+# wrote still carries the llmnpu-bench-v2 schema and the serving metric
+# fields downstream tooling keys on. Catches schema regressions on push
+# without paying for the full bench sweep.
+#
+# Expects: RUN_ALL (path to the driver), OUT (json path to write).
+
+execute_process(
+  COMMAND ${RUN_ALL} --quiet --filter bench_serving --out ${OUT}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "bench-smoke: run_all exited with ${rc}")
+endif()
+
+file(READ ${OUT} content)
+foreach(needle
+    "\"schema\": \"llmnpu-bench-v2\""
+    "\"name\": \"bench_serving\""
+    "\"metrics\""
+    "\"policy\""
+    "\"throughput_rps\""
+    "\"goodput_rps\""
+    "\"ttft_p50_ms\""
+    "\"ttft_p99_ms\""
+    "\"e2e_p99_ms\"")
+  string(FIND "${content}" "${needle}" found)
+  if(found EQUAL -1)
+    message(FATAL_ERROR
+      "bench-smoke: ${OUT} is missing '${needle}' — the "
+      "BENCH_results.json schema regressed")
+  endif()
+endforeach()
+message(STATUS "bench-smoke: schema ok (${OUT})")

@@ -247,6 +247,58 @@ LlmNpuEngine::SimulatePrefill(const ModelConfig& config, const SocSpec& soc,
     return detail;
 }
 
+ServingCostProfile
+LlmNpuEngine::ServingCosts(const ModelConfig& config, const SocSpec& soc,
+                           const InferenceRequest& request)
+{
+    const PrefillDetail detail =
+        SimulatePrefill(config, soc, request.prompt_len);
+    ServingCostProfile profile;
+    profile.prepare_ms = detail.prepare_ms;
+    profile.memory_bytes = detail.memory_bytes;
+
+    // Split the prefill makespan into per-chunk quanta proportional to each
+    // chunk's stage work (later chunks attend to longer kv and cost more),
+    // so the quanta sum to exactly the single-shot prefill latency.
+    const int chunk_len = options_.enable_chunking ? options_.chunk_len
+                                                   : request.prompt_len;
+    std::vector<double> work(static_cast<size_t>(detail.num_chunks), 0.0);
+    double total_work = 0.0;
+    for (int c = 0; c < detail.num_chunks; ++c) {
+        const int64_t kv_len = static_cast<int64_t>(c + 1) * chunk_len;
+        for (const StageTiming& t :
+             ChunkStageTimings(config, soc, chunk_len, kv_len, 0.0)) {
+            work[static_cast<size_t>(c)] += t.duration_ms + t.shadow_ms;
+        }
+        total_work += work[static_cast<size_t>(c)];
+    }
+    profile.chunk_ms.resize(static_cast<size_t>(detail.num_chunks));
+    for (int c = 0; c < detail.num_chunks; ++c) {
+        profile.chunk_ms[static_cast<size_t>(c)] =
+            detail.prefill_ms * work[static_cast<size_t>(c)] / total_work;
+    }
+
+    // While a chunk is in flight, its float stages and shadow kernels hold
+    // this busy fraction of the CPU/GPU, which a concurrent decode shares.
+    const Unit float_unit = options_.use_gpu_float ? Unit::kGpu : Unit::kCpu;
+    const double makespan = detail.timeline.makespan_ms;
+    profile.prefill_decode_interference =
+        makespan > 0.0
+            ? std::min(0.95, detail.timeline.busy_ms[static_cast<size_t>(
+                                 float_unit)] /
+                                 makespan)
+            : 0.0;
+
+    const ProcessorModel& dproc = soc.Processor(float_unit);
+    ExecPolicy decode_policy;
+    decode_policy.linear_format = ExecFormat::kInt8PerTensor;
+    profile.decode_token_ms =
+        DecodeMs(config, dproc, request.prompt_len, request.output_len,
+                 decode_policy) /
+        std::max(1, request.output_len);
+    return profile;
+}
+
 EngineResult
 LlmNpuEngine::Run(const ModelConfig& config, const SocSpec& soc,
                   const InferenceRequest& request)

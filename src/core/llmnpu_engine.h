@@ -62,6 +62,13 @@ class LlmNpuEngine : public InferenceEngine
     EngineResult Run(const ModelConfig& config, const SocSpec& soc,
                      const InferenceRequest& request) override;
 
+    /** Real per-chunk decomposition for the serving layer: NPU occupancy
+     *  per prefill chunk (kv-growth aware) plus the float-processor share
+     *  a concurrent decode contends with. */
+    ServingCostProfile ServingCosts(const ModelConfig& config,
+                                    const SocSpec& soc,
+                                    const InferenceRequest& request) override;
+
     const LlmNpuOptions& options() const { return options_; }
 
     /** Full prefill simulation detail (timeline + tasks) for analyses. */

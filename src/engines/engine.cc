@@ -1,0 +1,24 @@
+#include "src/engines/engine.h"
+
+#include <algorithm>
+
+namespace llmnpu {
+
+ServingCostProfile
+InferenceEngine::ServingCosts(const ModelConfig& config, const SocSpec& soc,
+                              const InferenceRequest& request)
+{
+    const EngineResult result = Run(config, soc, request);
+    ServingCostProfile profile;
+    profile.prepare_ms = result.prepare_ms;
+    profile.chunk_ms = {result.prefill_ms};
+    // Single-processor engines run prefill and decode on the same unit:
+    // a prefill in flight leaves nothing for concurrent decode.
+    profile.prefill_decode_interference = 1.0;
+    profile.decode_token_ms =
+        result.decode_ms / std::max(1, request.output_len);
+    profile.memory_bytes = result.memory_bytes;
+    return profile;
+}
+
+}  // namespace llmnpu

@@ -13,6 +13,7 @@
 #include <array>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/model/config.h"
 #include "src/sim/soc.h"
@@ -44,9 +45,58 @@ struct EngineResult {
     double npu_bubble_rate = 0.0;
 
     double EndToEndMs() const { return prefill_ms + decode_ms; }
+
+    /** Prefill throughput; 0 for degenerate (empty/instant) prefills. */
     double PrefillTokensPerSec(int prompt_len) const
     {
-        return prompt_len / (prefill_ms / 1e3);
+        return prefill_ms > 0.0 ? prompt_len / (prefill_ms / 1e3) : 0.0;
+    }
+
+    /** Decode throughput; 0 for degenerate (empty/instant) decodes. */
+    double DecodeTokensPerSec(int output_len) const
+    {
+        return decode_ms > 0.0 ? output_len / (decode_ms / 1e3) : 0.0;
+    }
+
+    /** Latency to the first emitted token: prefill plus one decode step
+     *  (the serving layer's TTFT shares this definition). */
+    double TimeToFirstTokenMs(int output_len) const
+    {
+        return prefill_ms +
+               (output_len > 0 ? decode_ms / output_len : 0.0);
+    }
+};
+
+/**
+ * Cost decomposition of one request into schedulable quanta, the contract
+ * between engines and the serving layer (src/serving): prefill as a
+ * sequence of accelerator-occupying chunks, decode as per-token steps.
+ *
+ * Invariant: PrefillMs() equals Run()'s prefill_ms and
+ * decode_token_ms * output_len equals Run()'s decode_ms, so serving one
+ * request at zero load reproduces the single-shot latency exactly.
+ */
+struct ServingCostProfile {
+    /** One-time preparation (amortized off the serving critical path). */
+    double prepare_ms = 0.0;
+    /** Accelerator occupancy of each prefill chunk, in execution order.
+     *  Single-processor engines expose one monolithic chunk. */
+    std::vector<double> chunk_ms;
+    /** Fraction of the decode processor consumed while a prefill chunk is
+     *  in flight (float stages + shadow compensation); concurrent decode
+     *  slows by 1 / (1 - this). The serving simulator floors the residual
+     *  decode rate at 5%, so 1.0 (single-processor engines) means decode
+     *  is effectively blocked — a 20x slowdown — not an exact stall. */
+    double prefill_decode_interference = 1.0;
+    /** Per-token decode service time at the request's context length. */
+    double decode_token_ms = 0.0;
+    int64_t memory_bytes = 0;
+
+    double PrefillMs() const
+    {
+        double total = 0.0;
+        for (double ms : chunk_ms) total += ms;
+        return total;
     }
 };
 
@@ -70,6 +120,18 @@ class InferenceEngine
     /** Simulates one inference. */
     virtual EngineResult Run(const ModelConfig& config, const SocSpec& soc,
                              const InferenceRequest& request) = 0;
+
+    /**
+     * Decomposes one request into serving quanta (see ServingCostProfile).
+     *
+     * The default implementation derives a conservative profile from Run():
+     * one monolithic prefill chunk, decode fully blocked by prefill (true
+     * for the single-processor §4.1 baselines). Engines with chunked
+     * pipelines override it with real per-chunk occupancy.
+     */
+    virtual ServingCostProfile ServingCosts(const ModelConfig& config,
+                                            const SocSpec& soc,
+                                            const InferenceRequest& request);
 };
 
 }  // namespace llmnpu

@@ -1,0 +1,25 @@
+#include "src/serving/cost_model.h"
+
+namespace llmnpu {
+
+const ServingCostProfile&
+ServingCostModel::Costs(const InferenceRequest& request)
+{
+    const std::pair<int, int> key{request.prompt_len, request.output_len};
+    auto it = cache_.find(key);
+    if (it == cache_.end()) {
+        it = cache_.emplace(key, engine_.ServingCosts(config_, soc_, request))
+                 .first;
+    }
+    return it->second;
+}
+
+double
+ServingCostModel::IsolatedE2eMs(const InferenceRequest& request)
+{
+    const ServingCostProfile& profile = Costs(request);
+    return profile.PrefillMs() +
+           profile.decode_token_ms * request.output_len;
+}
+
+}  // namespace llmnpu

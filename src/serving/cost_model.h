@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Memoized view of an engine's ServingCosts() decomposition. Arrival
+ * streams repeat (prompt_len, output_len) pairs across policies and load
+ * levels, and a full llm.npu decomposition replays the prefill timeline,
+ * so the serving layer caches profiles per request shape.
+ */
+#ifndef LLMNPU_SERVING_COST_MODEL_H
+#define LLMNPU_SERVING_COST_MODEL_H
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "src/engines/engine.h"
+
+namespace llmnpu {
+
+/** Caches ServingCostProfile per (prompt_len, output_len) for one
+ *  (engine, model, device) triple. Share one instance across simulator
+ *  runs that sweep policies/loads over the same triple. */
+class ServingCostModel
+{
+  public:
+    ServingCostModel(InferenceEngine& engine, const ModelConfig& config,
+                     const SocSpec& soc)
+        : engine_(engine), config_(config), soc_(soc)
+    {}
+
+    /** The engine's decomposition of `request` (cached). */
+    const ServingCostProfile& Costs(const InferenceRequest& request);
+
+    /** Isolated single-request latency under this decomposition: what the
+     *  request would take with the device to itself (SLO baseline). */
+    double IsolatedE2eMs(const InferenceRequest& request);
+
+    const ModelConfig& config() const { return config_; }
+    const SocSpec& soc() const { return soc_; }
+
+  private:
+    InferenceEngine& engine_;
+    ModelConfig config_;
+    SocSpec soc_;
+    std::map<std::pair<int, int>, ServingCostProfile> cache_;
+};
+
+}  // namespace llmnpu
+
+#endif  // LLMNPU_SERVING_COST_MODEL_H

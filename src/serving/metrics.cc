@@ -1,0 +1,60 @@
+#include "src/serving/metrics.h"
+
+#include "src/util/format.h"
+#include "src/util/stats.h"
+
+namespace llmnpu {
+
+ServingReport
+BuildReport(const std::vector<RequestRecord>& records, double makespan_ms,
+            double npu_busy_ms, double decode_busy_ms, int preemptions)
+{
+    ServingReport report;
+    report.admitted = static_cast<int>(records.size());
+    report.makespan_ms = makespan_ms;
+    report.preemptions = preemptions;
+
+    std::vector<double> ttft, e2e;
+    RunningStat tpot, queueing;
+    int met_slo = 0;
+    for (const RequestRecord& record : records) {
+        if (!record.Completed()) continue;
+        ++report.completed;
+        ttft.push_back(record.TtftMs());
+        e2e.push_back(record.E2eMs());
+        tpot.Add(record.TpotMs());
+        queueing.Add(record.QueueingMs());
+        met_slo += record.MetSlo() ? 1 : 0;
+    }
+    if (report.completed > 0 && makespan_ms > 0.0) {
+        report.throughput_rps = report.completed / (makespan_ms / 1e3);
+        report.goodput_rps = met_slo / (makespan_ms / 1e3);
+        report.slo_attainment =
+            static_cast<double>(met_slo) / report.completed;
+        report.ttft_p50_ms = Percentile(ttft, 50.0);
+        report.ttft_p95_ms = Percentile(ttft, 95.0);
+        report.ttft_p99_ms = Percentile(ttft, 99.0);
+        report.e2e_p50_ms = Percentile(e2e, 50.0);
+        report.e2e_p95_ms = Percentile(e2e, 95.0);
+        report.e2e_p99_ms = Percentile(e2e, 99.0);
+        report.tpot_mean_ms = tpot.mean();
+        report.queueing_mean_ms = queueing.mean();
+        report.npu_utilization = npu_busy_ms / makespan_ms;
+        report.decode_utilization = decode_busy_ms / makespan_ms;
+    }
+    return report;
+}
+
+std::string
+ServingReport::Summary() const
+{
+    return StrFormat(
+        "%d/%d done  %.2f req/s (goodput %.2f, SLO %.0f%%)  ttft p50/p99 "
+        "%s/%s  e2e p99 %s  npu %.0f%%",
+        completed, admitted, throughput_rps, goodput_rps,
+        slo_attainment * 100.0, HumanMs(ttft_p50_ms).c_str(),
+        HumanMs(ttft_p99_ms).c_str(), HumanMs(e2e_p99_ms).c_str(),
+        npu_utilization * 100.0);
+}
+
+}  // namespace llmnpu

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Aggregate serving metrics: the throughput / tail-latency / goodput view
+ * of a simulated run, built on util/stats.h. Per-request raw numbers live
+ * in RequestRecord (src/serving/request.h).
+ */
+#ifndef LLMNPU_SERVING_METRICS_H
+#define LLMNPU_SERVING_METRICS_H
+
+#include <string>
+#include <vector>
+
+#include "src/serving/request.h"
+
+namespace llmnpu {
+
+/** One run's aggregate metrics. All latencies in ms, rates in req/s. */
+struct ServingReport {
+    int admitted = 0;
+    int completed = 0;
+    double makespan_ms = 0.0;
+
+    /** Completed requests per second of makespan. */
+    double throughput_rps = 0.0;
+    /** Completed-within-SLO requests per second of makespan. */
+    double goodput_rps = 0.0;
+    /** Fraction of completed requests that met their deadline. */
+    double slo_attainment = 0.0;
+
+    double ttft_p50_ms = 0.0;
+    double ttft_p95_ms = 0.0;
+    double ttft_p99_ms = 0.0;
+    double e2e_p50_ms = 0.0;
+    double e2e_p95_ms = 0.0;
+    double e2e_p99_ms = 0.0;
+    double tpot_mean_ms = 0.0;
+    double queueing_mean_ms = 0.0;
+
+    /** Accelerator (prefill) busy fraction of the makespan. */
+    double npu_utilization = 0.0;
+    /** Decode-processor busy fraction of the makespan. */
+    double decode_utilization = 0.0;
+    /** Decode steps slowed by an incoming prefill chunk. */
+    int preemptions = 0;
+
+    /** One-line human-readable summary. */
+    std::string Summary() const;
+};
+
+/** Aggregates completed-request records into a report. Busy times and the
+ *  makespan come from the simulator's execution trace. */
+ServingReport BuildReport(const std::vector<RequestRecord>& records,
+                          double makespan_ms, double npu_busy_ms,
+                          double decode_busy_ms, int preemptions);
+
+}  // namespace llmnpu
+
+#endif  // LLMNPU_SERVING_METRICS_H

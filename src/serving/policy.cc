@@ -1,0 +1,72 @@
+#include "src/serving/policy.h"
+
+#include "src/util/check.h"
+
+namespace llmnpu {
+
+std::string
+PolicyName(SchedPolicy policy)
+{
+    switch (policy) {
+      case SchedPolicy::kFcfs: return "fcfs";
+      case SchedPolicy::kShortestPromptFirst: return "spf";
+      case SchedPolicy::kSloEdf: return "slo-edf";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Strict-weak-order comparison of two entries under a policy. */
+bool
+Before(SchedPolicy policy, const QueueEntry& a, const QueueEntry& b,
+       double now_ms)
+{
+    switch (policy) {
+      case SchedPolicy::kFcfs:
+        if (a.arrival_ms != b.arrival_ms) return a.arrival_ms < b.arrival_ms;
+        break;
+      case SchedPolicy::kShortestPromptFirst:
+        if (a.remaining_prefill_ms != b.remaining_prefill_ms) {
+            return a.remaining_prefill_ms < b.remaining_prefill_ms;
+        }
+        break;
+      case SchedPolicy::kSloEdf: {
+        // A request whose end-to-end deadline cannot be met even with the
+        // machine to itself (remaining prefill plus its whole decode) is a
+        // lost cause; spending NPU time on it only drags feasible requests
+        // past their own deadlines. Serve feasible ones (earliest deadline
+        // first), then the lost causes, FCFS among those.
+        const bool a_feasible =
+            now_ms + a.remaining_total_ms <= a.deadline_ms;
+        const bool b_feasible =
+            now_ms + b.remaining_total_ms <= b.deadline_ms;
+        if (a_feasible != b_feasible) return a_feasible;
+        if (a_feasible) {
+            if (a.deadline_ms != b.deadline_ms) {
+                return a.deadline_ms < b.deadline_ms;
+            }
+        } else if (a.arrival_ms != b.arrival_ms) {
+            return a.arrival_ms < b.arrival_ms;
+        }
+        break;
+      }
+    }
+    return a.request_id < b.request_id;
+}
+
+}  // namespace
+
+size_t
+PickNext(SchedPolicy policy, const std::vector<QueueEntry>& queue,
+         double now_ms)
+{
+    LLMNPU_CHECK(!queue.empty());
+    size_t best = 0;
+    for (size_t i = 1; i < queue.size(); ++i) {
+        if (Before(policy, queue[i], queue[best], now_ms)) best = i;
+    }
+    return best;
+}
+
+}  // namespace llmnpu

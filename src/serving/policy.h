@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Pluggable prefill-queue scheduling policies. The simulator re-picks at
+ * chunk granularity, so every policy preempts long prefills between chunks
+ * (never mid-chunk: NPU graph executions are uninterruptible).
+ */
+#ifndef LLMNPU_SERVING_POLICY_H
+#define LLMNPU_SERVING_POLICY_H
+
+#include <string>
+#include <vector>
+
+namespace llmnpu {
+
+/** How the scheduler orders the prefill queue. */
+enum class SchedPolicy {
+    /** First-come-first-served by arrival time. */
+    kFcfs,
+    /** Shortest remaining prefill work first (SJF at chunk granularity). */
+    kShortestPromptFirst,
+    /** SLO-aware earliest-deadline-first: feasible requests by deadline;
+     *  requests past their deadline yield to ones that can still meet it. */
+    kSloEdf,
+};
+
+/** "fcfs" / "spf" / "slo-edf" (bench rows and test diagnostics). */
+std::string PolicyName(SchedPolicy policy);
+
+/** What a policy sees about one queued request. */
+struct QueueEntry {
+    int request_id = 0;
+    double arrival_ms = 0.0;
+    double deadline_ms = 1e300;
+    /** Prefill service time still owed (sum of remaining chunk quanta). */
+    double remaining_prefill_ms = 0.0;
+    /** Total service still owed: remaining prefill plus the full decode
+     *  (deadlines are end-to-end, so feasibility must price decode too). */
+    double remaining_total_ms = 0.0;
+};
+
+/**
+ * Picks the queue index to run next. `now_ms` lets deadline policies tell
+ * feasible requests from already-expired ones. Requires non-empty queue;
+ * deterministic (ties break toward the lowest request id).
+ */
+size_t PickNext(SchedPolicy policy, const std::vector<QueueEntry>& queue,
+                double now_ms);
+
+}  // namespace llmnpu
+
+#endif  // LLMNPU_SERVING_POLICY_H

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Request lifecycle types of the serving layer: what a queued inference
+ * looks like to the scheduler and what the simulator records about it.
+ */
+#ifndef LLMNPU_SERVING_REQUEST_H
+#define LLMNPU_SERVING_REQUEST_H
+
+#include <algorithm>
+
+#include "src/engines/engine.h"
+
+namespace llmnpu {
+
+/** One admitted request with its SLO deadline. */
+struct ServingRequest {
+    int id = 0;
+    double arrival_ms = 0.0;
+    int prompt_len = 0;
+    int output_len = 1;
+    /** Which dataset of the generating mixture produced it. */
+    int profile_index = 0;
+    /** End-to-end SLO deadline (absolute ms); +inf when no SLO applies. */
+    double deadline_ms = 1e300;
+
+    InferenceRequest AsInference() const { return {prompt_len, output_len}; }
+};
+
+/** Everything the simulator measured about one request. */
+struct RequestRecord {
+    ServingRequest request;
+    /** Start of the first prefill chunk (-1 until dispatched). */
+    double first_dispatch_ms = -1.0;
+    /** End of the last prefill chunk. */
+    double prefill_done_ms = -1.0;
+    /** End of the decode step that emitted token 1. */
+    double first_token_ms = -1.0;
+    /** End of the decode step that emitted the last token. */
+    double finish_ms = -1.0;
+    int tokens_out = 0;
+    /** Decode steps of this request slowed by an incoming prefill chunk. */
+    int preemptions = 0;
+
+    bool Completed() const { return finish_ms >= 0.0; }
+    double QueueingMs() const { return first_dispatch_ms - request.arrival_ms; }
+    double TtftMs() const { return first_token_ms - request.arrival_ms; }
+    double E2eMs() const { return finish_ms - request.arrival_ms; }
+    /** Mean time per output token after the first. */
+    double TpotMs() const
+    {
+        return (finish_ms - first_token_ms) /
+               std::max(1, request.output_len - 1);
+    }
+    bool MetSlo() const
+    {
+        return Completed() && finish_ms <= request.deadline_ms;
+    }
+};
+
+}  // namespace llmnpu
+
+#endif  // LLMNPU_SERVING_REQUEST_H

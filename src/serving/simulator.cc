@@ -1,0 +1,299 @@
+#include "src/serving/simulator.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/util/check.h"
+#include "src/util/format.h"
+
+namespace llmnpu {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/** A request between admission and prefill completion. */
+struct PendingPrefill {
+    int id = 0;
+    int next_chunk = 0;
+    const ServingCostProfile* profile = nullptr;
+
+    double RemainingMs() const
+    {
+        double total = 0.0;
+        for (size_t c = static_cast<size_t>(next_chunk);
+             c < profile->chunk_ms.size(); ++c) {
+            total += profile->chunk_ms[c];
+        }
+        return total;
+    }
+};
+
+}  // namespace
+
+ServingReport
+ServingResult::Report() const
+{
+    return BuildReport(records, makespan_ms, npu_busy_ms, decode_busy_ms,
+                       preemptions);
+}
+
+ServingSimulator::ServingSimulator(ServingCostModel& costs,
+                                   std::vector<DatasetProfile> mix,
+                                   ServingOptions options)
+    : costs_(costs), mix_(std::move(mix)), options_(options)
+{
+    LLMNPU_CHECK(!mix_.empty());
+    LLMNPU_CHECK_GT(options_.num_requests, 0);
+    LLMNPU_CHECK_GT(options_.max_decode_batch, 0);
+    LLMNPU_CHECK_GE(options_.decode_batch_marginal, 0.0);
+    if (!options_.closed_loop) LLMNPU_CHECK_GT(options_.rate_rps, 0.0);
+    if (options_.closed_loop) LLMNPU_CHECK_GT(options_.num_clients, 0);
+}
+
+ServingResult
+ServingSimulator::Run()
+{
+    ServingResult result;
+    result.records.reserve(static_cast<size_t>(options_.num_requests));
+
+    // ---- Arrival stream. Open loop: the whole Poisson trace up front.
+    // Closed loop: a sampler plus a list of scheduled client wake-ups.
+    RequestSampler sampler(mix_, options_.seed);
+    std::vector<ArrivalEvent> open_arrivals;
+    size_t next_open = 0;
+    std::vector<double> client_wakeups;  // closed loop, unsorted
+    int issued = 0;
+    if (options_.closed_loop) {
+        const int first_wave =
+            std::min(options_.num_clients, options_.num_requests);
+        for (int i = 0; i < first_wave; ++i) client_wakeups.push_back(0.0);
+        issued = first_wave;
+    } else {
+        open_arrivals =
+            GeneratePoissonArrivals(mix_, options_.rate_rps,
+                                    options_.num_requests, options_.seed);
+        issued = options_.num_requests;
+    }
+
+    // ---- Machine state.
+    double now = 0.0;
+    std::vector<PendingPrefill> prefill_queue;
+    bool npu_busy = false;
+    double npu_end = 0.0;
+    double npu_interference = 0.0;  // of the in-flight chunk's profile
+    PendingPrefill npu_job;
+    double npu_start = 0.0;
+
+    std::vector<int> decode_pool;  // prefilled requests, admission order
+    std::vector<int> step_members;
+    bool step_active = false;
+    double step_remaining_work = 0.0;  // unscaled service ms still owed
+    double step_last_update = 0.0;
+    double step_start = 0.0;
+    int step_counter = 0;
+
+    auto decode_rate = [&]() {
+        return npu_busy ? std::max(0.05, 1.0 - npu_interference) : 1.0;
+    };
+
+    auto admit = [&](const ArrivalEvent& event) {
+        RequestRecord record;
+        record.request.id = static_cast<int>(result.records.size());
+        record.request.arrival_ms = event.arrival_ms;
+        record.request.prompt_len = event.request.prompt_len;
+        record.request.output_len = event.request.output_len;
+        record.request.profile_index = event.profile_index;
+        if (options_.slo_factor > 0.0) {
+            record.request.deadline_ms =
+                event.arrival_ms +
+                options_.slo_factor * costs_.IsolatedE2eMs(event.request);
+        }
+        result.records.push_back(record);
+        PendingPrefill pending;
+        pending.id = record.request.id;
+        pending.profile = &costs_.Costs(event.request);
+        prefill_queue.push_back(pending);
+    };
+
+    auto start_chunk_if_idle = [&]() {
+        if (npu_busy || prefill_queue.empty()) return;
+        std::vector<QueueEntry> entries;
+        entries.reserve(prefill_queue.size());
+        for (const PendingPrefill& pending : prefill_queue) {
+            const RequestRecord& record =
+                result.records[static_cast<size_t>(pending.id)];
+            QueueEntry entry;
+            entry.request_id = pending.id;
+            entry.arrival_ms = record.request.arrival_ms;
+            entry.deadline_ms = record.request.deadline_ms;
+            entry.remaining_prefill_ms = pending.RemainingMs();
+            entry.remaining_total_ms =
+                entry.remaining_prefill_ms +
+                pending.profile->decode_token_ms *
+                    record.request.output_len;
+            entries.push_back(entry);
+        }
+        const size_t pick = PickNext(options_.policy, entries, now);
+        npu_job = prefill_queue[pick];
+        prefill_queue.erase(prefill_queue.begin() +
+                            static_cast<long>(pick));
+        RequestRecord& record =
+            result.records[static_cast<size_t>(npu_job.id)];
+        if (npu_job.next_chunk == 0) record.first_dispatch_ms = now;
+        const double duration =
+            npu_job.profile->chunk_ms[static_cast<size_t>(
+                npu_job.next_chunk)];
+        npu_busy = true;
+        npu_start = now;
+        npu_end = now + duration;
+        npu_interference = npu_job.profile->prefill_decode_interference;
+        result.npu_busy_ms += duration;
+        if (step_active) {
+            // The chunk's float stages steal decode bandwidth from the
+            // step already in flight: that's a preemption.
+            ++result.preemptions;
+            for (int id : step_members) {
+                ++result.records[static_cast<size_t>(id)].preemptions;
+            }
+        }
+    };
+
+    auto start_step_if_idle = [&]() {
+        if (step_active || decode_pool.empty()) return;
+        const size_t batch =
+            std::min(decode_pool.size(),
+                     static_cast<size_t>(options_.max_decode_batch));
+        step_members.assign(decode_pool.begin(),
+                            decode_pool.begin() + static_cast<long>(batch));
+        double token_ms = 0.0;
+        for (int id : step_members) {
+            const RequestRecord& record =
+                result.records[static_cast<size_t>(id)];
+            token_ms = std::max(
+                token_ms, costs_.Costs(record.request.AsInference())
+                              .decode_token_ms);
+        }
+        step_active = true;
+        step_remaining_work =
+            token_ms * (1.0 + (static_cast<double>(batch) - 1.0) *
+                                  options_.decode_batch_marginal);
+        step_last_update = now;
+        step_start = now;
+    };
+
+    auto next_arrival_time = [&]() {
+        if (options_.closed_loop) {
+            double best = kInf;
+            for (double t : client_wakeups) best = std::min(best, t);
+            return best;
+        }
+        return next_open < open_arrivals.size()
+                   ? open_arrivals[next_open].arrival_ms
+                   : kInf;
+    };
+
+    // ---- Event loop: next event is the earliest of {arrival, chunk
+    // completion, decode-step completion at the current rate}. Decode work
+    // drains continuously at a rate that drops while a chunk is in flight,
+    // so its completion time is re-derived whenever the NPU state changes.
+    while (true) {
+        const double t_arrival = next_arrival_time();
+        const double t_npu = npu_busy ? npu_end : kInf;
+        const double t_step =
+            step_active
+                ? step_last_update + step_remaining_work / decode_rate()
+                : kInf;
+        const double t_next = std::min({t_arrival, t_npu, t_step});
+        if (t_next == kInf) break;  // all quiet: run complete
+
+        if (step_active) {
+            step_remaining_work -= (t_next - step_last_update) *
+                                   decode_rate();
+            step_last_update = t_next;
+        }
+        now = t_next;
+        result.makespan_ms = std::max(result.makespan_ms, now);
+
+        if (t_next == t_arrival) {
+            if (options_.closed_loop) {
+                auto it = std::min_element(client_wakeups.begin(),
+                                           client_wakeups.end());
+                client_wakeups.erase(it);
+                ArrivalEvent event = sampler.Sample();
+                event.arrival_ms = now;
+                admit(event);
+            } else {
+                admit(open_arrivals[next_open++]);
+            }
+        } else if (t_next == t_npu) {
+            result.trace_tasks.push_back(
+                {StrFormat("req%d.chunk%d", npu_job.id, npu_job.next_chunk),
+                 Unit::kNpu, npu_end - npu_start, {}, npu_job.next_chunk,
+                 -1});
+            result.trace.records.push_back({npu_start, npu_end});
+            npu_busy = false;
+            ++npu_job.next_chunk;
+            if (static_cast<size_t>(npu_job.next_chunk) <
+                npu_job.profile->chunk_ms.size()) {
+                prefill_queue.push_back(npu_job);
+            } else {
+                RequestRecord& record =
+                    result.records[static_cast<size_t>(npu_job.id)];
+                record.prefill_done_ms = now;
+                decode_pool.push_back(npu_job.id);
+            }
+        } else {  // decode step completes
+            const double elapsed = now - step_start;
+            result.trace_tasks.push_back(
+                {StrFormat("decode.step%d(B=%zu)", step_counter,
+                           step_members.size()),
+                 Unit::kCpu, elapsed, {}, -1, -1});
+            result.trace.records.push_back({step_start, now});
+            ++step_counter;
+            result.decode_busy_ms += elapsed;
+            step_active = false;
+            for (int id : step_members) {
+                RequestRecord& record =
+                    result.records[static_cast<size_t>(id)];
+                ++record.tokens_out;
+                if (record.tokens_out == 1) record.first_token_ms = now;
+                if (record.tokens_out >= record.request.output_len) {
+                    record.finish_ms = now;
+                    decode_pool.erase(std::find(decode_pool.begin(),
+                                                decode_pool.end(), id));
+                    if (options_.closed_loop &&
+                        issued < options_.num_requests) {
+                        client_wakeups.push_back(now +
+                                                 options_.think_time_ms);
+                        ++issued;
+                    }
+                }
+            }
+            step_members.clear();
+        }
+
+        start_chunk_if_idle();
+        start_step_if_idle();
+    }
+
+    // ---- Finalize the execution trace as a TimelineResult so the shared
+    // schedule-validity helpers apply (per-unit busy, spans, makespan).
+    result.trace.makespan_ms = result.makespan_ms;
+    for (size_t i = 0; i < result.trace_tasks.size(); ++i) {
+        const size_t unit =
+            static_cast<size_t>(result.trace_tasks[i].unit);
+        const TaskRecord& record = result.trace.records[i];
+        result.trace.busy_ms[unit] += record.end_ms - record.start_ms;
+        if (result.trace.span_end_ms[unit] == 0.0) {
+            result.trace.span_start_ms[unit] = record.start_ms;
+        }
+        result.trace.span_start_ms[unit] =
+            std::min(result.trace.span_start_ms[unit], record.start_ms);
+        result.trace.span_end_ms[unit] =
+            std::max(result.trace.span_end_ms[unit], record.end_ms);
+    }
+    return result;
+}
+
+}  // namespace llmnpu

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Discrete-event multi-request serving simulator over the engines.
+ *
+ * The machine being modeled is the paper's deployment: one shared NPU runs
+ * prefill chunk-by-chunk while the CPU (or GPU) decodes already-prefilled
+ * requests as a continuously batched stream. A scheduling policy
+ * (src/serving/policy.h) picks which request's next chunk the NPU runs;
+ * decode proceeds concurrently but is slowed by the float-stage share the
+ * in-flight chunk holds (an incoming chunk preempting decode bandwidth).
+ *
+ * Two load modes: open-loop Poisson arrivals at an offered rate, and a
+ * closed loop of `num_clients` clients with think time. Arrivals draw from
+ * a Table 5 dataset mixture (src/workloads/arrivals.h).
+ *
+ * Every executed quantum (prefill chunk, decode step) is exported as a
+ * SimTask + TaskRecord trace so the sim layer's schedule-validity checks
+ * (tests/support/timeline_asserts.h) apply to serving schedules too.
+ */
+#ifndef LLMNPU_SERVING_SIMULATOR_H
+#define LLMNPU_SERVING_SIMULATOR_H
+
+#include <vector>
+
+#include "src/serving/cost_model.h"
+#include "src/serving/metrics.h"
+#include "src/serving/policy.h"
+#include "src/serving/request.h"
+#include "src/sim/timeline.h"
+#include "src/workloads/arrivals.h"
+
+namespace llmnpu {
+
+/** Serving simulation parameters. */
+struct ServingOptions {
+    SchedPolicy policy = SchedPolicy::kFcfs;
+
+    /** false: open-loop Poisson at rate_rps; true: closed loop of
+     *  num_clients clients with think_time_ms between requests. */
+    bool closed_loop = false;
+    double rate_rps = 1.0;
+    int num_clients = 4;
+    double think_time_ms = 0.0;
+
+    /** Total requests admitted over the run. */
+    int num_requests = 100;
+    uint64_t seed = 42;
+
+    /** Deadline = arrival + slo_factor * isolated single-request latency
+     *  (per request shape, so short UI-automation requests carry tight
+     *  absolute deadlines). <= 0 disables SLOs (deadline = +inf). */
+    double slo_factor = 3.0;
+
+    /** Continuous-batching decode: max requests per decode step. */
+    int max_decode_batch = 8;
+    /** Marginal cost of each extra batched stream relative to the first
+     *  (weights are streamed once per step; extra activations are cheap).
+     *  Step time = token_ms * (1 + (B-1) * this). */
+    double decode_batch_marginal = 0.15;
+};
+
+/** Raw outcome of a serving run. */
+struct ServingResult {
+    /** One record per admitted request, indexed by request id. */
+    std::vector<RequestRecord> records;
+    double makespan_ms = 0.0;
+    double npu_busy_ms = 0.0;
+    double decode_busy_ms = 0.0;
+    /** Decode steps slowed by an incoming prefill chunk. */
+    int preemptions = 0;
+
+    /** Executed quanta (chunks on the NPU, decode steps on the CPU) with
+     *  their realized start/end times, for schedule-validity checks.
+     *  Prefill tasks carry the chunk index in SimTask::chunk; which
+     *  request (or decode step) a task belongs to is in its label. */
+    std::vector<SimTask> trace_tasks;
+    TimelineResult trace;
+
+    ServingReport Report() const;
+};
+
+/** The serving simulator. Reusable across Run() calls; share one
+ *  ServingCostModel across policy/load sweeps to amortize decomposition. */
+class ServingSimulator
+{
+  public:
+    ServingSimulator(ServingCostModel& costs,
+                     std::vector<DatasetProfile> mix,
+                     ServingOptions options);
+
+    /** Runs the full simulation until every admitted request completes. */
+    ServingResult Run();
+
+    const ServingOptions& options() const { return options_; }
+
+  private:
+    ServingCostModel& costs_;
+    std::vector<DatasetProfile> mix_;
+    ServingOptions options_;
+};
+
+}  // namespace llmnpu
+
+#endif  // LLMNPU_SERVING_SIMULATOR_H

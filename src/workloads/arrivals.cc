@@ -1,0 +1,67 @@
+#include "src/workloads/arrivals.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace llmnpu {
+
+RequestSampler::RequestSampler(std::vector<DatasetProfile> mix, uint64_t seed,
+                               std::vector<double> weights)
+    : mix_(std::move(mix)), rng_(seed)
+{
+    LLMNPU_CHECK(!mix_.empty());
+    if (weights.empty()) weights.assign(mix_.size(), 1.0);
+    LLMNPU_CHECK_EQ(weights.size(), mix_.size());
+    double total = 0.0;
+    for (double w : weights) {
+        LLMNPU_CHECK_GE(w, 0.0);
+        total += w;
+    }
+    LLMNPU_CHECK_GT(total, 0.0);
+    cumulative_.reserve(weights.size());
+    double running = 0.0;
+    for (double w : weights) {
+        running += w / total;
+        cumulative_.push_back(running);
+    }
+    cumulative_.back() = 1.0;  // absorb rounding
+}
+
+ArrivalEvent
+RequestSampler::Sample()
+{
+    const double u = rng_.Uniform();
+    size_t index = 0;
+    while (index + 1 < cumulative_.size() && u >= cumulative_[index]) {
+        ++index;
+    }
+    ArrivalEvent event;
+    event.profile_index = static_cast<int>(index);
+    event.request = mix_[index].Sample(rng_);
+    return event;
+}
+
+std::vector<ArrivalEvent>
+GeneratePoissonArrivals(const std::vector<DatasetProfile>& mix,
+                        double rate_rps, int num_requests, uint64_t seed)
+{
+    LLMNPU_CHECK_GT(rate_rps, 0.0);
+    LLMNPU_CHECK_GT(num_requests, 0);
+    RequestSampler sampler(mix, seed);
+    Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);  // independent inter-arrival draws
+    std::vector<ArrivalEvent> arrivals;
+    arrivals.reserve(static_cast<size_t>(num_requests));
+    double now_ms = 0.0;
+    for (int i = 0; i < num_requests; ++i) {
+        double u = 0.0;
+        while (u <= 1e-12) u = rng.Uniform();
+        now_ms += -std::log(u) / rate_rps * 1e3;  // exponential gap
+        ArrivalEvent event = sampler.Sample();
+        event.arrival_ms = now_ms;
+        arrivals.push_back(event);
+    }
+    return arrivals;
+}
+
+}  // namespace llmnpu

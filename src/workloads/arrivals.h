@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Arrival processes over the Table 5 dataset profiles: the request streams
+ * the serving layer (src/serving) schedules. Open-loop Poisson arrivals
+ * model independent apps firing at an offered rate; the closed-loop sampler
+ * models a fixed client population that waits for completions (think time
+ * handled by the serving simulator).
+ */
+#ifndef LLMNPU_WORKLOADS_ARRIVALS_H
+#define LLMNPU_WORKLOADS_ARRIVALS_H
+
+#include <vector>
+
+#include "src/util/rng.h"
+#include "src/workloads/datasets.h"
+
+namespace llmnpu {
+
+/** One generated request: when it arrives and what it asks for. */
+struct ArrivalEvent {
+    double arrival_ms = 0.0;
+    InferenceRequest request;
+    /** Index into the generating mixture (which dataset produced it). */
+    int profile_index = 0;
+};
+
+/**
+ * Draws requests from a weighted mixture of dataset profiles.
+ *
+ * Weights need not be normalized; an empty weight vector means uniform.
+ * Deterministic given the seed (all draws go through util/rng.h).
+ */
+class RequestSampler
+{
+  public:
+    RequestSampler(std::vector<DatasetProfile> mix, uint64_t seed,
+                   std::vector<double> weights = {});
+
+    /** Samples one request (arrival_ms left 0; callers assign it). */
+    ArrivalEvent Sample();
+
+    const std::vector<DatasetProfile>& mix() const { return mix_; }
+
+  private:
+    std::vector<DatasetProfile> mix_;
+    std::vector<double> cumulative_;  ///< normalized cumulative weights
+    Rng rng_;
+};
+
+/**
+ * Open-loop Poisson arrival stream: `num_requests` requests with
+ * exponential inter-arrival times at `rate_rps` requests/second, each drawn
+ * from the mixture. Sorted by arrival time by construction.
+ */
+std::vector<ArrivalEvent> GeneratePoissonArrivals(
+    const std::vector<DatasetProfile>& mix, double rate_rps,
+    int num_requests, uint64_t seed);
+
+}  // namespace llmnpu
+
+#endif  // LLMNPU_WORKLOADS_ARRIVALS_H

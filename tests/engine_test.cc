@@ -21,6 +21,46 @@ class EngineFixture : public PaperDeviceTest
     InferenceRequest req1024_{1024, 1};
 };
 
+TEST(EngineResultTest, PrefillTokensPerSecGuardsZeroPrefill)
+{
+    // Regression: an empty/instant prefill (prefill_ms == 0, e.g. a
+    // zero-length prompt priced by a degenerate engine) used to divide by
+    // zero and return inf; throughput of nothing is defined as 0.
+    EngineResult result;
+    EXPECT_EQ(result.PrefillTokensPerSec(0), 0.0);
+    EXPECT_EQ(result.PrefillTokensPerSec(128), 0.0);
+    EXPECT_EQ(result.DecodeTokensPerSec(8), 0.0);
+    result.prefill_ms = 500.0;
+    EXPECT_DOUBLE_EQ(result.PrefillTokensPerSec(1000), 2000.0);
+}
+
+TEST(EngineResultTest, ThroughputHelpersMatchDefinitions)
+{
+    EngineResult result;
+    result.prefill_ms = 250.0;
+    result.decode_ms = 400.0;
+    EXPECT_DOUBLE_EQ(result.DecodeTokensPerSec(8), 20.0);
+    // TTFT: prefill plus one decode step.
+    EXPECT_DOUBLE_EQ(result.TimeToFirstTokenMs(8), 300.0);
+    EXPECT_DOUBLE_EQ(result.TimeToFirstTokenMs(0), 250.0);
+    EXPECT_LT(result.TimeToFirstTokenMs(8), result.EndToEndMs());
+}
+
+TEST_F(EngineFixture, ResultHelpersConsistentOnRealEngine)
+{
+    // The serving layer and the benches share these helper definitions;
+    // they must agree with the raw latency fields on a real run.
+    LlmNpuEngine ours;
+    const InferenceRequest req{1024, 16};
+    const EngineResult result = ours.Run(qwen_, soc_, req);
+    EXPECT_NEAR(result.DecodeTokensPerSec(req.output_len),
+                req.output_len / (result.decode_ms / 1e3), 1e-6);
+    EXPECT_GT(result.TimeToFirstTokenMs(req.output_len),
+              result.prefill_ms);
+    EXPECT_LT(result.TimeToFirstTokenMs(req.output_len),
+              result.EndToEndMs());
+}
+
 TEST_F(EngineFixture, HeadlineQwenPrefillOver1000TokensPerSec)
 {
     // §4.2: ">1000 tokens/sec prefilling for a billion-sized model".

@@ -5,8 +5,11 @@
  */
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "src/model/transformer.h"
 #include "src/workloads/accuracy.h"
+#include "src/workloads/arrivals.h"
 #include "src/workloads/corpus.h"
 #include "src/workloads/datasets.h"
 
@@ -94,6 +97,105 @@ TEST(DatasetTest, TypicalIsMidpoint)
     const InferenceRequest req = profile.Typical();
     EXPECT_EQ(req.prompt_len, (488 + 584) / 2);
     EXPECT_EQ(req.output_len, (35 + 57) / 2);
+}
+
+TEST(DatasetTest, TypicalWithinRangesForAllProfiles)
+{
+    for (const auto& dataset : PaperDatasets()) {
+        const InferenceRequest req = dataset.Typical();
+        EXPECT_GE(req.prompt_len, dataset.prompt_min) << dataset.name;
+        EXPECT_LE(req.prompt_len, dataset.prompt_max) << dataset.name;
+        EXPECT_GE(req.output_len, dataset.output_min) << dataset.name;
+        EXPECT_LE(req.output_len, dataset.output_max) << dataset.name;
+    }
+}
+
+TEST(DatasetTest, SampleIsSeedDeterministic)
+{
+    for (const auto& dataset : PaperDatasets()) {
+        Rng a(99), b(99), c(100);
+        bool any_differs = false;
+        for (int i = 0; i < 32; ++i) {
+            const InferenceRequest from_a = dataset.Sample(a);
+            const InferenceRequest from_b = dataset.Sample(b);
+            EXPECT_EQ(from_a.prompt_len, from_b.prompt_len) << dataset.name;
+            EXPECT_EQ(from_a.output_len, from_b.output_len) << dataset.name;
+            const InferenceRequest from_c = dataset.Sample(c);
+            any_differs |= from_a.prompt_len != from_c.prompt_len;
+        }
+        EXPECT_TRUE(any_differs) << dataset.name;  // seeds matter
+    }
+}
+
+// -------------------------------------------------------- arrival processes
+
+TEST(ArrivalTest, PoissonArrivalsSortedDeterministicAndInRange)
+{
+    const auto mix = PaperDatasets();
+    const auto arrivals = GeneratePoissonArrivals(mix, 2.0, 200, 17);
+    ASSERT_EQ(arrivals.size(), 200u);
+    double prev = 0.0;
+    for (const ArrivalEvent& event : arrivals) {
+        EXPECT_GT(event.arrival_ms, prev);
+        prev = event.arrival_ms;
+        ASSERT_GE(event.profile_index, 0);
+        ASSERT_LT(event.profile_index, static_cast<int>(mix.size()));
+        const DatasetProfile& profile =
+            mix[static_cast<size_t>(event.profile_index)];
+        EXPECT_GE(event.request.prompt_len, profile.prompt_min);
+        EXPECT_LE(event.request.prompt_len, profile.prompt_max);
+        EXPECT_GE(event.request.output_len, profile.output_min);
+        EXPECT_LE(event.request.output_len, profile.output_max);
+    }
+    const auto again = GeneratePoissonArrivals(mix, 2.0, 200, 17);
+    for (size_t i = 0; i < arrivals.size(); ++i) {
+        EXPECT_DOUBLE_EQ(arrivals[i].arrival_ms, again[i].arrival_ms);
+        EXPECT_EQ(arrivals[i].request.prompt_len,
+                  again[i].request.prompt_len);
+    }
+}
+
+TEST(ArrivalTest, PoissonGapsMatchRateAndAreExponential)
+{
+    // Statistical sanity: at 5 req/s the mean gap is 200 ms, and an
+    // exponential distribution has coefficient of variation 1.
+    const auto arrivals =
+        GeneratePoissonArrivals(PaperDatasets(), 5.0, 4000, 23);
+    double prev = 0.0, sum = 0.0, sum_sq = 0.0;
+    for (const ArrivalEvent& event : arrivals) {
+        const double gap = event.arrival_ms - prev;
+        prev = event.arrival_ms;
+        sum += gap;
+        sum_sq += gap * gap;
+    }
+    const double n = static_cast<double>(arrivals.size());
+    const double mean = sum / n;
+    const double stddev = std::sqrt(sum_sq / n - mean * mean);
+    EXPECT_NEAR(mean, 200.0, 200.0 * 0.05);
+    EXPECT_NEAR(stddev / mean, 1.0, 0.10);
+}
+
+TEST(ArrivalTest, SamplerUniformMixtureCoversAllProfiles)
+{
+    const auto mix = PaperDatasets();
+    RequestSampler sampler(mix, 31);
+    std::vector<int> counts(mix.size(), 0);
+    for (int i = 0; i < 500; ++i) {
+        ++counts[static_cast<size_t>(sampler.Sample().profile_index)];
+    }
+    for (size_t p = 0; p < mix.size(); ++p) {
+        // Uniform mixture: expect ~100 each; demand at least presence.
+        EXPECT_GT(counts[p], 50) << mix[p].name;
+    }
+}
+
+TEST(ArrivalTest, SamplerRespectsWeights)
+{
+    const auto mix = PaperDatasets();
+    RequestSampler sampler(mix, 31, {0.0, 0.0, 1.0, 0.0, 0.0});
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_EQ(sampler.Sample().profile_index, 2);
+    }
 }
 
 TEST(EvalSetTest, FiveBenchmarksWithDistinctContent)
