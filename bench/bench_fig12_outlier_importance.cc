@@ -3,6 +3,8 @@
  * Reproduces Figure 12: per-linear outlier importance (largest outlier over
  * the quantization scale) and the accuracy-vs-pruned-layers curve.
  */
+#include <cstdlib>
+
 #include "bench/bench_util.h"
 #include "src/core/outlier_profile.h"
 #include "src/core/shadow_executor.h"
@@ -49,13 +51,18 @@ Run()
     left.Print();
 
     // Right panel: accuracy vs pruning rate.
+    // run_all --quick: fewer eval sequences and only the key rates.
+    const bool quick = std::getenv("LLMNPU_BENCH_QUICK") != nullptr;
     corpus_options.seed = 0xe;
-    corpus_options.num_sequences = 12;
+    corpus_options.num_sequences = quick ? 6 : 12;
     const auto eval = MakeCorpus(corpus_options);
     std::printf("\nAccuracy (top-1 agreement with FP16) vs pruned "
                 "fraction:\n");
     Table right({"Pruning rate", "agreement", "resident shadow weights"});
-    for (double rate : {0.0, 0.25, 0.5, 0.75, 0.85, 0.95, 1.0}) {
+    const std::vector<double> rates =
+        quick ? std::vector<double>{0.0, 0.85, 1.0}
+              : std::vector<double>{0.0, 0.25, 0.5, 0.75, 0.85, 0.95, 1.0};
+    for (double rate : rates) {
         NpuShadowExecutor executor(weights, profile, rate);
         const AccuracyResult result =
             EvaluateAgreement(model, executor, eval);

@@ -4,6 +4,8 @@
  * rates — accuracy from real numerics on proxies, speed from the timing
  * plane at the matching pruning rate.
  */
+#include <cstdlib>
+
 #include "bench/bench_util.h"
 #include "src/core/llmnpu_engine.h"
 #include "src/core/outlier_profile.h"
@@ -43,7 +45,12 @@ RunModel(const ModelConfig& base)
     std::printf("\n-- %s --\n", base.name.c_str());
     Table table({"Pruning rate", "agreement (accuracy proxy)",
                  "prefill speed (tok/s)"});
-    for (double rate : {0.0, 0.25, 0.5, 0.75, 0.85, 1.0}) {
+    // run_all --quick: just the endpoints and the paper's default rate.
+    const bool quick = std::getenv("LLMNPU_BENCH_QUICK") != nullptr;
+    const std::vector<double> rates =
+        quick ? std::vector<double>{0.0, 0.85, 1.0}
+              : std::vector<double>{0.0, 0.25, 0.5, 0.75, 0.85, 1.0};
+    for (double rate : rates) {
         NpuShadowExecutor executor(weights, profile, rate);
         const double agreement =
             EvaluateAgreement(model, executor, eval).top1_agreement * 100.0;
@@ -67,7 +74,9 @@ Run()
                 "decode-inclusive); 100% pruning: fastest but accuracy "
                 "collapses (8.1%/41.9%)");
     RunModel(Qwen15_1_8B());
-    RunModel(Gemma2B());
+    if (std::getenv("LLMNPU_BENCH_QUICK") == nullptr) {
+        RunModel(Gemma2B());
+    }
     std::printf("\nShape check: speed rises and agreement falls "
                 "monotonically with the pruning rate; the knee sits around "
                 "the paper's default 85%%.\n");

@@ -6,6 +6,9 @@
  */
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <vector>
+
 #include "src/core/llmnpu_engine.h"
 #include "src/core/scheduler.h"
 
@@ -67,4 +70,22 @@ BENCHMARK(BM_DagConstruction)->Arg(4)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace llmnpu
 
-BENCHMARK_MAIN();
+int
+main(int argc, char** argv)
+{
+    // In run_all --quick (CI smoke) runs, cap the per-benchmark measuring
+    // time instead of google-benchmark's ~0.5 s default.
+    std::vector<char*> args(argv, argv + argc);
+    char quick_min_time[] = "--benchmark_min_time=0.01";
+    if (std::getenv("LLMNPU_BENCH_QUICK") != nullptr) {
+        args.push_back(quick_min_time);
+    }
+    int args_count = static_cast<int>(args.size());
+    benchmark::Initialize(&args_count, args.data());
+    if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+        return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -8,6 +8,8 @@
  * on outlier-bearing synthetic models — the prediction flips quantization
  * causes, which is what orders Table 6.
  */
+#include <cstdlib>
+
 #include "bench/bench_util.h"
 #include "src/core/outlier_profile.h"
 #include "src/core/shadow_executor.h"
@@ -31,7 +33,14 @@ Run()
     RunningStat ours_stat, ours_full_stat, int8_stat, kquant_stat,
         smooth_stat, naive_stat;
 
-    for (const ModelConfig& base : PaperModels()) {
+    // run_all --quick: two models and fewer eval contexts keep CI fast;
+    // the full sweep covers all five paper models.
+    const bool quick = std::getenv("LLMNPU_BENCH_QUICK") != nullptr;
+    std::vector<ModelConfig> models = PaperModels();
+    if (quick) models.resize(2);
+    const int eval_contexts = quick ? 3 : 8;
+
+    for (const ModelConfig& base : models) {
         const ModelConfig proxy = ScaledProxy(base, 192, 4, 512);
         SyntheticWeightsOptions weight_options;
         weight_options.seed =
@@ -65,7 +74,7 @@ Run()
         Table table({"Benchmark proxy", "FP16", "SQ", "Int8()", "K-Quant",
                      "PerTensor", "Ours p=.85", "Ours p=0"});
         for (const EvalSet& eval :
-             MakeBenchmarkEvalSets(proxy.vocab_size, 8)) {
+             MakeBenchmarkEvalSets(proxy.vocab_size, eval_contexts)) {
             auto agree = [&](LinearExecutor& executor) {
                 return EvaluateAgreement(model, executor, eval.contexts)
                            .top1_agreement *

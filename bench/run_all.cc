@@ -4,12 +4,18 @@
  * machine-readable summary so each commit leaves a perf-trajectory sample.
  *
  * Usage: run_all [--bench-dir DIR] [--out FILE] [--filter PREFIX] [--quiet]
+ *                [--quick]
  *   --bench-dir  directory scanned for bench_* binaries
  *                (default: the directory run_all itself lives in)
  *   --out        output JSON path (default: BENCH_results.json in the CWD)
  *   --filter     only run benches whose name starts with PREFIX
  *   --quiet      don't echo bench output (stdout is still piped through
  *                run_all to collect METRIC lines; stderr is discarded)
+ *   --quick      exports LLMNPU_BENCH_QUICK=1 and LLMNPU_SERVING_SMOKE=1 to
+ *                the benches: smaller sweeps and iteration caps for CI
+ *                smoke runs (the full sweep keeps the real sizes). The JSON
+ *                records "quick": true so trajectory tooling never compares
+ *                quick numbers against full runs.
  *
  * The JSON schema ("llmnpu-bench-v2") is one record per bench with its exit
  * status and wall time; downstream tooling diffs these files across commits
@@ -92,6 +98,7 @@ main(int argc, char** argv)
     std::string out_path = "BENCH_results.json";
     std::string filter;
     bool quiet = false;
+    bool quick = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--bench-dir") == 0 && i + 1 < argc) {
             bench_dir = argv[++i];
@@ -101,12 +108,20 @@ main(int argc, char** argv)
             filter = argv[++i];
         } else if (std::strcmp(argv[i], "--quiet") == 0) {
             quiet = true;
+        } else if (std::strcmp(argv[i], "--quick") == 0) {
+            quick = true;
         } else {
             std::fprintf(stderr,
                          "usage: run_all [--bench-dir DIR] [--out FILE] "
-                         "[--filter PREFIX] [--quiet]\n");
+                         "[--filter PREFIX] [--quiet] [--quick]\n");
             return 2;
         }
+    }
+    if (quick) {
+        // Benches that know a smaller configuration pick it up from the
+        // environment (popen children inherit it).
+        setenv("LLMNPU_BENCH_QUICK", "1", 1);
+        setenv("LLMNPU_SERVING_SMOKE", "1", 1);
     }
 
     std::vector<std::string> benches = DiscoverBenches(bench_dir);
@@ -188,6 +203,7 @@ main(int argc, char** argv)
         return 2;
     }
     std::fprintf(out, "{\n  \"schema\": \"llmnpu-bench-v2\",\n");
+    std::fprintf(out, "  \"quick\": %s,\n", quick ? "true" : "false");
     std::fprintf(out, "  \"bench_count\": %zu,\n", outcomes.size());
     std::fprintf(out, "  \"failures\": %d,\n", failures);
     std::fprintf(out, "  \"total_wall_ms\": %.1f,\n", total_ms);

@@ -1,13 +1,15 @@
-# CTest script behind the `bench-smoke` label: runs bench_serving at a tiny
-# load through the run_all driver, then asserts the BENCH_results.json it
-# wrote still carries the llmnpu-bench-v2 schema and the serving metric
-# fields downstream tooling keys on. Catches schema regressions on push
-# without paying for the full bench sweep.
+# CTest script behind the `bench-smoke` label: runs the whole bench sweep in
+# --quick mode (smaller sizes / iteration caps; LLMNPU_BENCH_QUICK and
+# LLMNPU_SERVING_SMOKE exported to the benches) through the run_all driver,
+# then asserts the BENCH_results.json it wrote still carries the
+# llmnpu-bench-v2 schema plus the serving and kernel metric fields that
+# downstream tooling keys on. Catches schema regressions on push without
+# paying for the full bench sweep (full runs keep the real sizes).
 #
 # Expects: RUN_ALL (path to the driver), OUT (json path to write).
 
 execute_process(
-  COMMAND ${RUN_ALL} --quiet --filter bench_serving --out ${OUT}
+  COMMAND ${RUN_ALL} --quiet --quick --out ${OUT}
   RESULT_VARIABLE rc)
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "bench-smoke: run_all exited with ${rc}")
@@ -16,6 +18,7 @@ endif()
 file(READ ${OUT} content)
 foreach(needle
     "\"schema\": \"llmnpu-bench-v2\""
+    "\"quick\": true"
     "\"name\": \"bench_serving\""
     "\"metrics\""
     "\"policy\""
@@ -23,7 +26,13 @@ foreach(needle
     "\"goodput_rps\""
     "\"ttft_p50_ms\""
     "\"ttft_p99_ms\""
-    "\"e2e_p99_ms\"")
+    "\"e2e_p99_ms\""
+    "\"name\": \"bench_kernels\""
+    "\"bench\": \"kernels\""
+    "\"kernel\": \"matmul_f32\""
+    "\"variant\": \"tiled\""
+    "\"gflops\""
+    "\"speedup_vs_naive\"")
   string(FIND "${content}" "${needle}" found)
   if(found EQUAL -1)
     message(FATAL_ERROR

@@ -49,7 +49,7 @@ class CountingExecutor : public LinearExecutor
                 static_cast<double>(cols);
         }
         profile.tokens_seen += rows;
-        return MatMulF32(x, weights_.Linear(layer, kind));
+        return MatMulF32Packed(x, weights_.PackedLinear(layer, kind));
     }
 
     std::string Name() const override { return "outlier-profiler"; }

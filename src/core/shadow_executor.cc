@@ -16,12 +16,16 @@ NpuShadowExecutor::NpuShadowExecutor(const ModelWeights& weights,
     const auto& config = weights.config;
     prepared_.resize(static_cast<size_t>(config.num_layers));
     for (int l = 0; l < config.num_layers; ++l) {
-        prepared_[static_cast<size_t>(l)].resize(7);
+        prepared_[static_cast<size_t>(l)].resize(kNumLinearKinds);
         for (const auto& spec : config.LayerLinears()) {
             PreparedLinear pl;
             const Tensor& w = weights.Linear(l, spec.kind);
-            pl.npu_weights = QuantizePerColumn(w);
-            pl.w_deq = DequantizePerColumn(pl.npu_weights);
+            // The row-major quantized copy is construction-only scratch:
+            // Forward reads the packed panels and the dequantized floats.
+            const PerColumnWeights npu_weights = QuantizePerColumn(w);
+            pl.npu_packed =
+                PackWeightsI8(npu_weights.q, npu_weights.scales);
+            pl.w_deq = DequantizePerColumn(npu_weights);
             pl.shadow_enabled =
                 profile.ShadowEnabled(l, spec.kind, pruning_rate);
             pl.is_hot.assign(static_cast<size_t>(spec.k), false);
@@ -58,8 +62,7 @@ NpuShadowExecutor::Forward(int layer, LinearKind kind, const Tensor& x)
                 std::nearbyint(px[i] * inv_s), -127.0f, 127.0f));
         }
     }
-    Tensor y = MatMulW8A8PerTensor(x_q, s, pl.npu_weights.q,
-                                   pl.npu_weights.scales);
+    Tensor y = MatMulW8A8PerTensorPacked(x_q, s, pl.npu_packed);
 
     if (!pl.shadow_enabled) return y;
 

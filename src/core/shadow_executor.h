@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/core/outlier_profile.h"
+#include "src/tensor/matmul.h"
 #include "src/tensor/quantize.h"
 
 namespace llmnpu {
@@ -68,8 +69,8 @@ class NpuShadowExecutor : public LinearExecutor
 
   private:
     struct PreparedLinear {
-        PerColumnWeights npu_weights;  ///< int8 + per-column scales
-        Tensor w_deq;                  ///< dequantized copy for the shadow term
+        PackedWeightsI8 npu_packed;  ///< int8 panels + per-column scales
+        Tensor w_deq;                ///< dequantized copy for the shadow term
         bool shadow_enabled = false;
         std::vector<bool> is_hot;      ///< per input channel
         int64_t hot_rows = 0;

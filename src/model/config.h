@@ -36,6 +36,9 @@ enum class LinearKind {
     kFfnDown,
 };
 
+/** Number of LinearKind values (dense 0..N-1 indexing). */
+constexpr int kNumLinearKinds = static_cast<int>(LinearKind::kFfnDown) + 1;
+
 /** Human-readable name of a LinearKind ("q_proj", "up_proj", ...). */
 std::string LinearKindName(LinearKind kind);
 

@@ -10,7 +10,9 @@ namespace llmnpu {
 Tensor
 Fp32LinearExecutor::Forward(int layer, LinearKind kind, const Tensor& x)
 {
-    return MatMulF32(x, weights_.Linear(layer, kind));
+    // Packed panels are built once at load (ModelWeights::PackAllLinears),
+    // so every forward hits the tiled kernel with zero packing cost.
+    return MatMulF32Packed(x, weights_.PackedLinear(layer, kind));
 }
 
 Transformer::Transformer(const ModelWeights& weights) : weights_(weights)
@@ -118,25 +120,9 @@ Transformer::Forward(const std::vector<int>& tokens, KvCache& cache,
 Tensor
 Transformer::Logits(const Tensor& hidden) const
 {
-    // Tied embedding: logits = hidden @ embedding^T.
-    const auto& c = weights_.config;
-    const int64_t seq = hidden.Rows();
-    Tensor out = Tensor::Zeros({seq, c.vocab_size});
-    const float* ph = hidden.Data<float>();
-    const float* pe = weights_.embedding.Data<float>();
-    float* po = out.Data<float>();
-    for (int64_t i = 0; i < seq; ++i) {
-        for (int64_t t = 0; t < c.vocab_size; ++t) {
-            float dot = 0.0f;
-            const float* hrow = ph + i * c.hidden_size;
-            const float* erow = pe + t * c.hidden_size;
-            for (int64_t d = 0; d < c.hidden_size; ++d) {
-                dot += hrow[d] * erow[d];
-            }
-            po[i * c.vocab_size + t] = dot;
-        }
-    }
-    return out;
+    // Tied embedding: logits = hidden @ embedding^T, via the packed
+    // transposed embedding built at load.
+    return MatMulF32Packed(hidden, weights_.PackedLmHead());
 }
 
 int

@@ -35,18 +35,25 @@ OnesWithJitter(Rng& rng, int64_t n)
 
 }  // namespace
 
+namespace {
+
+/** Dense index of a LinearKind (enum declaration order). */
+size_t
+KindSlot(LinearKind kind)
+{
+    const auto slot = static_cast<size_t>(kind);
+    LLMNPU_CHECK_LT(slot, static_cast<size_t>(kNumLinearKinds));
+    return slot;
+}
+
+}  // namespace
+
 const Tensor&
 ModelWeights::Linear(int layer, LinearKind kind) const
 {
-    return const_cast<ModelWeights*>(this)->MutableLinear(layer, kind);
-}
-
-Tensor&
-ModelWeights::MutableLinear(int layer, LinearKind kind)
-{
     LLMNPU_CHECK_GE(layer, 0);
     LLMNPU_CHECK_LT(layer, static_cast<int>(layers.size()));
-    LayerWeights& lw = layers[static_cast<size_t>(layer)];
+    const LayerWeights& lw = layers[static_cast<size_t>(layer)];
     switch (kind) {
       case LinearKind::kWq: return lw.wq;
       case LinearKind::kWk: return lw.wk;
@@ -60,6 +67,54 @@ ModelWeights::MutableLinear(int layer, LinearKind kind)
     }
     LLMNPU_CHECK(false);
     return lw.wq;
+}
+
+Tensor&
+ModelWeights::MutableLinear(int layer, LinearKind kind)
+{
+    // The caller may mutate the weights; drop the stale packed panels so
+    // PackedLinear() re-packs on next use.
+    if (static_cast<size_t>(layer) < packed_linears_.size()) {
+        packed_linears_[static_cast<size_t>(layer)][KindSlot(kind)] =
+            PackedWeightsF32{};
+    }
+    return const_cast<Tensor&>(Linear(layer, kind));
+}
+
+const PackedWeightsF32&
+ModelWeights::PackedLinear(int layer, LinearKind kind) const
+{
+    LLMNPU_CHECK_GE(layer, 0);
+    LLMNPU_CHECK_LT(layer, static_cast<int>(layers.size()));
+    if (packed_linears_.size() != layers.size()) {
+        packed_linears_.assign(
+            layers.size(),
+            std::vector<PackedWeightsF32>(kNumLinearKinds));
+    }
+    PackedWeightsF32& entry =
+        packed_linears_[static_cast<size_t>(layer)][KindSlot(kind)];
+    if (entry.Empty()) entry = PackWeightsF32(Linear(layer, kind));
+    return entry;
+}
+
+const PackedWeightsF32&
+ModelWeights::PackedLmHead() const
+{
+    if (packed_lm_head_.Empty()) {
+        packed_lm_head_ = PackWeightsF32Transposed(embedding);
+    }
+    return packed_lm_head_;
+}
+
+void
+ModelWeights::PackAllLinears()
+{
+    for (int l = 0; l < static_cast<int>(layers.size()); ++l) {
+        for (const auto& spec : config.LayerLinears()) {
+            PackedLinear(l, spec.kind);
+        }
+    }
+    PackedLmHead();
 }
 
 ModelWeights
@@ -211,6 +266,10 @@ GenerateSyntheticWeights(const ModelConfig& config,
 
     mw.final_norm_gamma = OnesWithJitter(rng, hidden);
     mw.final_norm_beta = Tensor::Zeros({1, hidden});
+
+    // Pack every linear (and the tied lm_head) once at load so the tiled
+    // kernels never pay a per-forward packing cost.
+    mw.PackAllLinears();
     return mw;
 }
 

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/model/config.h"
+#include "src/tensor/matmul.h"
 #include "src/tensor/tensor.h"
 
 namespace llmnpu {
@@ -60,7 +61,37 @@ struct ModelWeights {
 
     /** The f32 weight matrix of one linear operator. */
     const Tensor& Linear(int layer, LinearKind kind) const;
+
+    /** Mutable access to one linear; invalidates its packed panels. */
     Tensor& MutableLinear(int layer, LinearKind kind);
+
+    /**
+     * Panel-major packed panels of one linear for the tiled kernels
+     * (matmul.h). GenerateSyntheticWeights packs every linear once at
+     * load; after MutableLinear() mutations the entry is re-packed lazily
+     * on next access. Not thread-safe on a cache miss (pack at setup, not
+     * from inside kernels).
+     */
+    const PackedWeightsF32& PackedLinear(int layer, LinearKind kind) const;
+
+    /**
+     * Packed transposed embedding (the tied lm_head): [hidden x vocab],
+     * cached from the load-time embedding. Like PackedLinear(), the cache
+     * reflects the values at pack time: mutate linears only through
+     * MutableLinear() (which invalidates the panels) and treat the public
+     * `embedding`/`layers` fields as frozen after load — direct writes
+     * bypass invalidation and the packed copies go stale.
+     */
+    const PackedWeightsF32& PackedLmHead() const;
+
+    /** Pre-packs every linear and the lm_head (the load-time pack step). */
+    void PackAllLinears();
+
+  private:
+    /** Packed panels per layer, indexed by LinearKind order; empty entries
+     *  are re-packed on demand. */
+    mutable std::vector<std::vector<PackedWeightsF32>> packed_linears_;
+    mutable PackedWeightsF32 packed_lm_head_;
 };
 
 /** Generates deterministic synthetic weights for `config`. */

@@ -57,7 +57,7 @@ class RecordingExecutor : public LinearExecutor
             }
         }
         stats.rows_seen += rows;
-        return MatMulF32(x, weights_.Linear(layer, kind));
+        return MatMulF32Packed(x, weights_.PackedLinear(layer, kind));
     }
 
     std::string Name() const override { return "calibration"; }

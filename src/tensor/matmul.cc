@@ -1,3 +1,13 @@
+/**
+ * @file
+ * Reference (naive) matmul kernels.
+ *
+ * These triple-loop implementations define the kernel semantics and act as
+ * the equivalence oracle for the tiled/threaded kernels in kernels.cc, and
+ * as the baseline bench_kernels measures speedups against. They are built
+ * with the project's portable default flags on purpose — the optimized
+ * kernels may be compiled with target SIMD flags (see CMakeLists.txt).
+ */
 #include "src/tensor/matmul.h"
 
 #include <algorithm>
@@ -6,7 +16,7 @@
 namespace llmnpu {
 
 Tensor
-MatMulF32(const Tensor& a, const Tensor& b)
+MatMulF32Naive(const Tensor& a, const Tensor& b)
 {
     LLMNPU_CHECK(a.dtype() == DType::kF32);
     LLMNPU_CHECK(b.dtype() == DType::kF32);
@@ -30,7 +40,7 @@ MatMulF32(const Tensor& a, const Tensor& b)
 
 namespace {
 
-/** Shared INT32-accumulation core for the W8A8 kernels. */
+/** Shared INT32-accumulation core for the naive W8A8 kernels. */
 void
 Int8AccumulateRow(const int8_t* a_row, const int8_t* w, int64_t k, int64_t n,
                   int32_t* acc)
@@ -47,8 +57,8 @@ Int8AccumulateRow(const int8_t* a_row, const int8_t* w, int64_t k, int64_t n,
 }  // namespace
 
 Tensor
-MatMulW8A8PerTensor(const Tensor& a_q, float a_scale, const Tensor& w_q,
-                    const std::vector<float>& w_scales)
+MatMulW8A8PerTensorNaive(const Tensor& a_q, float a_scale, const Tensor& w_q,
+                         const std::vector<float>& w_scales)
 {
     LLMNPU_CHECK(a_q.dtype() == DType::kI8);
     LLMNPU_CHECK(w_q.dtype() == DType::kI8);
@@ -61,23 +71,34 @@ MatMulW8A8PerTensor(const Tensor& a_q, float a_scale, const Tensor& w_q,
     const int8_t* pw = w_q.Data<int8_t>();
     float* pc = c.Data<float>();
 
+    // Uniform-vs-per-column scale choice hoisted out of the hot loop; both
+    // arms keep the exact float(acc) * a_scale * ws expression so the two
+    // cases (and the tiled kernel) stay bitwise comparable.
+    const bool uniform = w_scales.size() == 1;
     std::vector<int32_t> acc(static_cast<size_t>(n));
     for (int64_t i = 0; i < m; ++i) {
         Int8AccumulateRow(pa + i * k, pw, k, n, acc.data());
-        for (int64_t j = 0; j < n; ++j) {
-            const float ws =
-                w_scales.size() == 1 ? w_scales[0]
-                                     : w_scales[static_cast<size_t>(j)];
-            pc[i * n + j] =
-                static_cast<float>(acc[static_cast<size_t>(j)]) * a_scale * ws;
+        if (uniform) {
+            const float ws = w_scales[0];
+            for (int64_t j = 0; j < n; ++j) {
+                pc[i * n + j] =
+                    static_cast<float>(acc[static_cast<size_t>(j)]) *
+                    a_scale * ws;
+            }
+        } else {
+            for (int64_t j = 0; j < n; ++j) {
+                pc[i * n + j] =
+                    static_cast<float>(acc[static_cast<size_t>(j)]) *
+                    a_scale * w_scales[static_cast<size_t>(j)];
+            }
         }
     }
     return c;
 }
 
 Tensor
-MatMulW8A8RowCol(const Tensor& a_q, const std::vector<float>& a_scales,
-                 const Tensor& w_q, const std::vector<float>& w_scales)
+MatMulW8A8RowColNaive(const Tensor& a_q, const std::vector<float>& a_scales,
+                      const Tensor& w_q, const std::vector<float>& w_scales)
 {
     LLMNPU_CHECK(a_q.dtype() == DType::kI8);
     LLMNPU_CHECK(w_q.dtype() == DType::kI8);
@@ -103,7 +124,7 @@ MatMulW8A8RowCol(const Tensor& a_q, const std::vector<float>& a_scales,
 }
 
 Tensor
-MatMulPerGroup(const Tensor& a, const PerGroupWeights& w)
+MatMulPerGroupNaive(const Tensor& a, const PerGroupWeights& w)
 {
     LLMNPU_CHECK(a.dtype() == DType::kF32);
     const int64_t m = a.Rows(), k = a.Cols(), n = w.q.Cols();
@@ -148,33 +169,6 @@ MatMulPerGroup(const Tensor& a, const PerGroupWeights& w)
                 pc[i * n + j] += static_cast<float>(acc[static_cast<size_t>(j)]) *
                                  a_scale * w.GroupScale(g, j);
             }
-        }
-    }
-    return c;
-}
-
-Tensor
-MatMulRowSubset(const Tensor& a_sub, const Tensor& w,
-                const std::vector<int>& rows)
-{
-    LLMNPU_CHECK(a_sub.dtype() == DType::kF32);
-    LLMNPU_CHECK(w.dtype() == DType::kF32);
-    LLMNPU_CHECK_EQ(a_sub.Cols(), static_cast<int64_t>(rows.size()));
-    const int64_t m = a_sub.Rows(), n = w.Cols();
-    Tensor c = Tensor::Zeros({m, n});
-    const float* pa = a_sub.Data<float>();
-    const float* pw = w.Data<float>();
-    float* pc = c.Data<float>();
-    for (int64_t i = 0; i < m; ++i) {
-        for (size_t idx = 0; idx < rows.size(); ++idx) {
-            const float av = pa[i * static_cast<int64_t>(rows.size()) +
-                                static_cast<int64_t>(idx)];
-            if (av == 0.0f) continue;
-            const int64_t kk = rows[idx];
-            LLMNPU_CHECK_LT(kk, w.Rows());
-            const float* wrow = pw + kk * n;
-            float* crow = pc + i * n;
-            for (int64_t j = 0; j < n; ++j) crow[j] += av * wrow[j];
         }
     }
     return c;

@@ -3,6 +3,26 @@
  * Matrix multiplication kernels: fp32 reference, per-tensor W8A8 (the
  * NPU-friendly form), and per-group W8A8 (the form that forces sub-tensor
  * splits plus float reduction on NPUs, Figure 3(b)).
+ *
+ * Two implementations exist for every kernel:
+ *
+ *  - The public entry points (MatMulF32, MatMulW8A8PerTensor, ...) are
+ *    cache-blocked, register-tiled and multi-threaded (src/tensor/
+ *    kernels.cc): weights are packed into panel-major layout (kPanelWidth
+ *    output columns per panel, contiguous along K) so the micro-kernel
+ *    streams both operands, and row blocks are distributed over the shared
+ *    ThreadPool (LLMNPU_NUM_THREADS).
+ *  - The *Naive triple-loop variants are the original reference kernels.
+ *    They define the semantics, serve as the equivalence oracle in
+ *    tests/kernels_test.cc, and are what bench_kernels reports speedups
+ *    against.
+ *
+ * Determinism: every kernel computes each output element with a fixed
+ * K-ascending accumulation order that does not depend on the thread count
+ * or row partition. The INT8 kernels (int32 accumulation, scale multiplies
+ * only) are bitwise deterministic across thread counts; the f32 kernels are
+ * deterministic up to the usual summation-order-free guarantee (each row's
+ * order is fixed, so chunked prefill stays bit-comparable).
  */
 #ifndef LLMNPU_TENSOR_MATMUL_H
 #define LLMNPU_TENSOR_MATMUL_H
@@ -12,8 +32,55 @@
 
 namespace llmnpu {
 
-/** C = A @ B with A [M x K] f32 and B [K x N] f32. */
+/** Output columns per packed panel; K rows of a panel are contiguous. */
+constexpr int kPanelWidth = 16;
+
+/**
+ * An f32 weight matrix [K x N] re-laid out panel-major for the tiled
+ * kernels: panel p holds columns [p*kPanelWidth, (p+1)*kPanelWidth) with
+ * the K dimension contiguous inside the panel; the last panel is
+ * zero-padded to kPanelWidth. Pack once at load, reuse every forward.
+ */
+struct PackedWeightsF32 {
+    int64_t k = 0;
+    int64_t n = 0;
+    std::vector<float> data;  ///< [ceil(n/kPanelWidth) * k * kPanelWidth]
+
+    bool Empty() const { return data.empty(); }
+};
+
+/** Packs a [K x N] f32 weight matrix into panel-major layout. */
+PackedWeightsF32 PackWeightsF32(const Tensor& w);
+
+/**
+ * Packs the transpose of a [N x K] f32 matrix (e.g. a tied embedding used
+ * as lm_head) into the panel-major layout of the implied [K x N] matrix,
+ * without materializing the transpose.
+ */
+PackedWeightsF32 PackWeightsF32Transposed(const Tensor& w);
+
+/** Panel-major packed INT8 weights plus their per-column (or uniform)
+ *  dequantization scales. */
+struct PackedWeightsI8 {
+    int64_t k = 0;
+    int64_t n = 0;
+    std::vector<int8_t> data;   ///< [ceil(n/kPanelWidth) * k * kPanelWidth]
+    std::vector<float> scales;  ///< size 1 (uniform) or N (per column)
+
+    bool Empty() const { return data.empty(); }
+};
+
+/** Packs per-column-quantized weights into panel-major layout. */
+PackedWeightsI8 PackWeightsI8(const Tensor& w_q, std::vector<float> scales);
+
+/** C = A @ B with A [M x K] f32 and B [K x N] f32 (tiled + threaded). */
 Tensor MatMulF32(const Tensor& a, const Tensor& b);
+
+/** MatMulF32 against pre-packed weights (no per-call packing cost). */
+Tensor MatMulF32Packed(const Tensor& a, const PackedWeightsF32& w);
+
+/** Reference triple-loop MatMulF32 (equivalence oracle / bench baseline). */
+Tensor MatMulF32Naive(const Tensor& a, const Tensor& b);
 
 /**
  * Per-tensor-activation W8A8 matmul: C = (A_q @ W_q) * a_scale * w_scale[n].
@@ -23,10 +90,21 @@ Tensor MatMulF32(const Tensor& a, const Tensor& b);
  * Weight scales may be uniform (size 1) or per output channel (size N);
  * per-output-channel dequantization is a post-accumulation column multiply
  * and therefore equally NPU-friendly (supported by QNN).
+ *
+ * Bitwise identical to the *Naive variant at any thread count.
  */
 Tensor MatMulW8A8PerTensor(const Tensor& a_q, float a_scale,
                            const Tensor& w_q,
                            const std::vector<float>& w_scales);
+
+/** MatMulW8A8PerTensor against pre-packed weights. */
+Tensor MatMulW8A8PerTensorPacked(const Tensor& a_q, float a_scale,
+                                 const PackedWeightsI8& w);
+
+/** Reference triple-loop W8A8 per-tensor matmul. */
+Tensor MatMulW8A8PerTensorNaive(const Tensor& a_q, float a_scale,
+                                const Tensor& w_q,
+                                const std::vector<float>& w_scales);
 
 /**
  * Vector-wise W8A8 matmul (LLM.Int8()-style): per-row activation scales and
@@ -35,6 +113,12 @@ Tensor MatMulW8A8PerTensor(const Tensor& a_q, float a_scale,
 Tensor MatMulW8A8RowCol(const Tensor& a_q, const std::vector<float>& a_scales,
                         const Tensor& w_q,
                         const std::vector<float>& w_scales);
+
+/** Reference triple-loop vector-wise W8A8 matmul. */
+Tensor MatMulW8A8RowColNaive(const Tensor& a_q,
+                             const std::vector<float>& a_scales,
+                             const Tensor& w_q,
+                             const std::vector<float>& w_scales);
 
 /**
  * Per-group W8A8 matmul (Figure 3(b)).
@@ -49,13 +133,17 @@ Tensor MatMulW8A8RowCol(const Tensor& a_q, const std::vector<float>& a_scales,
  */
 Tensor MatMulPerGroup(const Tensor& a, const PerGroupWeights& w);
 
+/** Reference per-group W8A8 matmul. */
+Tensor MatMulPerGroupNaive(const Tensor& a, const PerGroupWeights& w);
+
 /**
  * fp32 matmul restricted to a subset of K rows of the weight matrix:
  * C = A_sub @ W[rows, :], where A_sub is [M x |rows|].
  *
  * This is the compact-tensor CPU kernel used by shadow outlier execution:
  * the extracted outlier channels form A_sub and `rows` are the matching
- * weight rows.
+ * weight rows. Row indices are validated once up front, outside the hot
+ * loop.
  */
 Tensor MatMulRowSubset(const Tensor& a_sub, const Tensor& w,
                        const std::vector<int>& rows);

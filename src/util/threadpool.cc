@@ -1,0 +1,143 @@
+#include "src/util/threadpool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace llmnpu {
+
+namespace {
+
+/** True inside a pool worker (or inside a running ParallelFor body): nested
+ *  parallel regions run inline instead of deadlocking on the shared pool. */
+thread_local bool tls_in_parallel = false;
+
+}  // namespace
+
+ThreadPool&
+ThreadPool::Global()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+int
+ThreadPool::RequestedThreads()
+{
+    if (const char* env = std::getenv("LLMNPU_NUM_THREADS")) {
+        const long v = std::strtol(env, nullptr, 10);
+        if (v >= 1) {
+            return static_cast<int>(
+                std::min<long>(v, ThreadPool::kMaxThreads));
+        }
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0) return 1;
+    return static_cast<int>(
+        std::min<unsigned>(hw, static_cast<unsigned>(kMaxThreads)));
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    wake_cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+}
+
+void
+ThreadPool::EnsureWorkersLocked(int count)
+{
+    while (static_cast<int>(workers_.size()) < count) {
+        workers_.emplace_back([this] { WorkerLoop(); });
+    }
+}
+
+void
+ThreadPool::WorkerLoop()
+{
+    tls_in_parallel = true;  // anything fn() spawns runs inline
+    uint64_t seen = 0;
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+        wake_cv_.wait(lock, [&] { return stop_ || job_id_ != seen; });
+        if (stop_) return;
+        const uint64_t id = job_id_;
+        seen = id;
+        lock.unlock();
+        RunBlocks(id);
+        lock.lock();
+    }
+}
+
+void
+ThreadPool::RunBlocks(uint64_t id)
+{
+    for (;;) {
+        int block;
+        int blocks;
+        int64_t n;
+        const std::function<void(int64_t, int64_t)>* fn;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            // A stale participant (woken after the job it saw completed)
+            // must not touch the counters of a newer job.
+            if (job_id_ != id || next_block_ >= job_blocks_) return;
+            block = next_block_++;
+            blocks = job_blocks_;
+            n = job_n_;
+            fn = job_fn_;
+        }
+        (*fn)(n * block / blocks, n * (block + 1) / blocks);
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            // The job cannot have changed: the submitter is blocked until
+            // every grabbed block reports back through this decrement.
+            if (--blocks_left_ == 0) done_cv_.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::ParallelFor(int64_t n, int64_t grain,
+                        const std::function<void(int64_t, int64_t)>& fn)
+{
+    if (n <= 0) return;
+    grain = std::max<int64_t>(grain, 1);
+    const int64_t max_blocks = n / grain;
+    const int threads = static_cast<int>(
+        std::min<int64_t>(RequestedThreads(), max_blocks));
+    if (threads <= 1 || tls_in_parallel) {
+        fn(0, n);
+        return;
+    }
+
+    // One job at a time: a second application thread submitting
+    // concurrently waits here (it is never needed for the first job's
+    // progress, so this cannot deadlock).
+    std::lock_guard<std::mutex> submit_lock(submit_mu_);
+
+    uint64_t id;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        EnsureWorkersLocked(threads - 1);
+        id = ++job_id_;
+        job_fn_ = &fn;
+        job_n_ = n;
+        job_blocks_ = threads;
+        next_block_ = 0;
+        blocks_left_ = threads;
+    }
+    wake_cv_.notify_all();
+
+    tls_in_parallel = true;  // the caller participates; nested calls inline
+    RunBlocks(id);
+    tls_in_parallel = false;
+
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return blocks_left_ == 0; });
+    job_fn_ = nullptr;
+}
+
+}  // namespace llmnpu
