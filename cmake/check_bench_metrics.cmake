@@ -1,0 +1,137 @@
+# Validates the kernel GFLOP/s METRIC rows of a freshly produced
+# BENCH_results.json against the committed baseline: every row must be
+# present with a positive throughput, and rows whose
+# (kernel, variant, m, k, n, threads) key also exists in the baseline must
+# sit within a generous BAND-x band of it (CI hosts vary a lot; the band
+# catches order-of-magnitude regressions — dropped SIMD flags, accidental
+# naive fallbacks — not noise). Run by CI after the bench-smoke step:
+#
+#   cmake -DRESULTS=<fresh.json> -DBASELINE=<committed.json> -DBAND=5.0 \
+#         -P cmake/check_bench_metrics.cmake
+#
+# Requires CMake >= 3.19 (string(JSON)); the project's configure minimum
+# stays 3.16 — this script is only run by CI and developers.
+
+cmake_minimum_required(VERSION 3.19)
+
+if(NOT DEFINED RESULTS OR NOT DEFINED BASELINE)
+  message(FATAL_ERROR "usage: cmake -DRESULTS=... -DBASELINE=... "
+                      "[-DBAND=5.0] -P check_bench_metrics.cmake")
+endif()
+if(NOT DEFINED BAND)
+  set(BAND 5.0)
+endif()
+
+# CMake's math() is integer-only: parse a non-negative decimal into
+# milli-units (x1000) so band comparisons become integer products.
+function(to_milli value out_var)
+  if(NOT value MATCHES "^[0-9]+(\\.[0-9]+)?$")
+    message(FATAL_ERROR
+      "check_bench_metrics: non-numeric metric value '${value}'")
+  endif()
+  if(value MATCHES "^([0-9]+)\\.([0-9]+)$")
+    set(int_part "${CMAKE_MATCH_1}")
+    set(frac "${CMAKE_MATCH_2}000")
+    string(SUBSTRING "${frac}" 0 3 frac)
+  else()
+    set(int_part "${value}")
+    set(frac "000")
+  endif()
+  math(EXPR milli "${int_part} * 1000 + ${frac}")
+  set(${out_var} "${milli}" PARENT_SCOPE)
+endfunction()
+
+# Collects "key=gflops" pairs for the bench_kernels metric rows of one
+# results file into `out_var`.
+function(collect_kernel_metrics json_path out_var)
+  file(READ ${json_path} content)
+  string(JSON num_benches LENGTH ${content} "benches")
+  set(pairs "")
+  math(EXPR last_bench "${num_benches} - 1")
+  foreach(b RANGE ${last_bench})
+    string(JSON bench_name GET ${content} "benches" ${b} "name")
+    if(NOT bench_name STREQUAL "bench_kernels")
+      continue()
+    endif()
+    string(JSON num_metrics ERROR_VARIABLE err
+           LENGTH ${content} "benches" ${b} "metrics")
+    if(err OR num_metrics EQUAL 0)
+      message(FATAL_ERROR
+        "check_bench_metrics: ${json_path} has no bench_kernels metric "
+        "rows — the kernel GFLOP/s METRIC output regressed")
+    endif()
+    math(EXPR last_metric "${num_metrics} - 1")
+    foreach(i RANGE ${last_metric})
+      set(prefix "benches" ${b} "metrics" ${i})
+      string(JSON kernel GET ${content} ${prefix} "kernel")
+      string(JSON variant GET ${content} ${prefix} "variant")
+      string(JSON m GET ${content} ${prefix} "m")
+      string(JSON k GET ${content} ${prefix} "k")
+      string(JSON n GET ${content} ${prefix} "n")
+      string(JSON threads GET ${content} ${prefix} "threads")
+      string(JSON gflops GET ${content} ${prefix} "gflops")
+      if(NOT gflops GREATER 0)
+        message(FATAL_ERROR
+          "check_bench_metrics: ${json_path}: ${kernel}/${variant} "
+          "m=${m} k=${k} n=${n} t=${threads} has non-positive "
+          "gflops=${gflops}")
+      endif()
+      list(APPEND pairs
+           "${kernel}|${variant}|${m}|${k}|${n}|${threads}=${gflops}")
+    endforeach()
+  endforeach()
+  if(pairs STREQUAL "")
+    message(FATAL_ERROR
+      "check_bench_metrics: ${json_path} has no bench_kernels entry")
+  endif()
+  set(${out_var} "${pairs}" PARENT_SCOPE)
+endfunction()
+
+collect_kernel_metrics(${RESULTS} fresh)
+collect_kernel_metrics(${BASELINE} base)
+to_milli(${BAND} band_milli)
+
+set(matched 0)
+foreach(pair IN LISTS fresh)
+  string(REGEX MATCH "^([^=]+)=(.*)$" _ "${pair}")
+  set(key "${CMAKE_MATCH_1}")
+  set(gflops "${CMAKE_MATCH_2}")
+  foreach(bpair IN LISTS base)
+    string(REGEX MATCH "^([^=]+)=(.*)$" _ "${bpair}")
+    if(NOT CMAKE_MATCH_1 STREQUAL key)
+      continue()
+    endif()
+    set(base_gflops "${CMAKE_MATCH_2}")
+    math(EXPR matched "${matched} + 1")
+    to_milli(${gflops} fresh_milli)
+    to_milli(${base_gflops} base_milli)
+    # Band check in milli-units: fresh*BAND >= base (not BAND-x slower)
+    # and fresh <= base*BAND (not BAND-x faster — a too-fast row usually
+    # means the measured workload silently shrank).
+    math(EXPR lhs "${fresh_milli} * ${band_milli}")
+    math(EXPR rhs "${base_milli} * 1000")
+    if(lhs LESS rhs)
+      message(FATAL_ERROR
+        "check_bench_metrics: ${key}: fresh ${gflops} GFLOP/s is more "
+        "than ${BAND}x slower than baseline ${base_gflops} GFLOP/s")
+    endif()
+    math(EXPR lhs "${fresh_milli} * 1000")
+    math(EXPR rhs "${base_milli} * ${band_milli}")
+    if(lhs GREATER rhs)
+      message(FATAL_ERROR
+        "check_bench_metrics: ${key}: fresh ${gflops} GFLOP/s is more "
+        "than ${BAND}x faster than baseline ${base_gflops} GFLOP/s "
+        "(workload shrank?)")
+    endif()
+  endforeach()
+endforeach()
+
+if(matched EQUAL 0)
+  message(FATAL_ERROR
+    "check_bench_metrics: no (kernel, variant, shape, threads) key of "
+    "${RESULTS} matches the baseline ${BASELINE} — the metric key "
+    "schema drifted; update the committed baseline")
+endif()
+message(STATUS
+  "check_bench_metrics: ${matched} kernel metric rows within ${BAND}x "
+  "of the committed baseline")

@@ -40,19 +40,85 @@ NpuShadowExecutor::NpuShadowExecutor(const ModelWeights& weights,
     }
 }
 
+void
+NpuShadowExecutor::AddShadowTerm(const PreparedLinear& pl,
+                                 const LinearOutlierProfile& op, const Tensor& x,
+                                 const Tensor& x_q, int64_t r0, int64_t r1,
+                                 Tensor& y)
+{
+    // Extract the channels where any row of [r0, r1) exceeded the clip and
+    // compute the residual x - s*q at float precision on the CPU.
+    const float s = op.clip_scale;
+    const float clip = op.ClipValue();
+    const int64_t k = x.Cols();
+    const float* px = x.Data<float>();
+    std::vector<int> extracted;
+    for (int64_t c = 0; c < k; ++c) {
+        for (int64_t r = r0; r < r1; ++r) {
+            if (std::abs(px[r * k + c]) > clip) {
+                extracted.push_back(static_cast<int>(c));
+                break;
+            }
+        }
+    }
+    if (extracted.empty()) return;
+
+    ++stats_.shadow_calls;
+    stats_.extracted_channels += static_cast<int64_t>(extracted.size());
+    for (int c : extracted) {
+        if (pl.is_hot[static_cast<size_t>(c)]) {
+            ++stats_.hot_hits;
+        } else {
+            ++stats_.cold_misses;
+        }
+    }
+
+    // Compact residual tensor over the extracted channels.
+    const int64_t m = r1 - r0;
+    const int64_t num_extracted = static_cast<int64_t>(extracted.size());
+    Tensor residual({m, num_extracted}, DType::kF32);
+    {
+        const int8_t* pq = x_q.Data<int8_t>();
+        float* pr = residual.Data<float>();
+        for (int64_t r = 0; r < m; ++r) {
+            for (int64_t i = 0; i < num_extracted; ++i) {
+                const int64_t c = extracted[static_cast<size_t>(i)];
+                pr[r * num_extracted + i] =
+                    px[(r0 + r) * k + c] -
+                    s * static_cast<float>(pq[(r0 + r) * k + c]);
+            }
+        }
+    }
+    Tensor y_shadow = MatMulRowSubset(residual, pl.w_deq, extracted);
+    // Add into the segment's rows of the stacked output.
+    const int64_t n = y.Cols();
+    float* py = y.Data<float>() + r0 * n;
+    const float* ps = y_shadow.Data<float>();
+    for (int64_t i = 0; i < m * n; ++i) py[i] += ps[i];
+}
+
 Tensor
 NpuShadowExecutor::Forward(int layer, LinearKind kind, const Tensor& x)
 {
+    return ForwardBatch(layer, kind, x, {0, x.Rows()});
+}
+
+Tensor
+NpuShadowExecutor::ForwardBatch(int layer, LinearKind kind, const Tensor& x,
+                                const BatchSegments& segments)
+{
+    CheckBatchSegments(x, segments);
     auto& pl = prepared_[static_cast<size_t>(layer)]
                         [static_cast<size_t>(LinearKindIndex(kind))];
     const auto& op = profile_.Stats(layer, kind);
-    ++stats_.linear_calls;
+    stats_.linear_calls += static_cast<int64_t>(segments.size()) - 1;
 
     const float s = op.clip_scale;
     const float inv_s = 1.0f / s;
-    const int64_t m = x.Rows(), k = x.Cols();
 
-    // NPU part: per-tensor quantize with the offline clip scale.
+    // NPU part: per-tensor quantize with the offline clip scale, one packed
+    // W8A8 matmul over the whole stack (element-wise quantization and
+    // row-independent accumulation make this exact for every segment).
     Tensor x_q(x.shape(), DType::kI8);
     {
         const float* px = x.Data<float>();
@@ -66,50 +132,13 @@ NpuShadowExecutor::Forward(int layer, LinearKind kind, const Tensor& x)
 
     if (!pl.shadow_enabled) return y;
 
-    // Shadow part: extract the channels whose values exceeded the clip and
-    // compute the residual x - s*q at float precision on the CPU.
-    const float clip = op.ClipValue();
-    std::vector<int> extracted;
-    {
-        const float* px = x.Data<float>();
-        for (int64_t c = 0; c < k; ++c) {
-            for (int64_t r = 0; r < m; ++r) {
-                if (std::abs(px[r * k + c]) > clip) {
-                    extracted.push_back(static_cast<int>(c));
-                    break;
-                }
-            }
-        }
+    // Shadow part, per sequence: the extracted channel set is a property of
+    // one sequence's activations, so batching must not union it across
+    // sequences (the residual of a non-outlier channel is its rounding
+    // error, not zero — unioning would perturb other sequences).
+    for (size_t i = 0; i + 1 < segments.size(); ++i) {
+        AddShadowTerm(pl, op, x, x_q, segments[i], segments[i + 1], y);
     }
-    if (extracted.empty()) return y;
-
-    ++stats_.shadow_calls;
-    stats_.extracted_channels += static_cast<int64_t>(extracted.size());
-    for (int c : extracted) {
-        if (pl.is_hot[static_cast<size_t>(c)]) {
-            ++stats_.hot_hits;
-        } else {
-            ++stats_.cold_misses;
-        }
-    }
-
-    // Compact residual tensor over the extracted channels.
-    Tensor residual({m, static_cast<int64_t>(extracted.size())}, DType::kF32);
-    {
-        const float* px = x.Data<float>();
-        const int8_t* pq = x_q.Data<int8_t>();
-        float* pr = residual.Data<float>();
-        for (int64_t r = 0; r < m; ++r) {
-            for (size_t i = 0; i < extracted.size(); ++i) {
-                const int64_t c = extracted[i];
-                pr[r * static_cast<int64_t>(extracted.size()) +
-                   static_cast<int64_t>(i)] =
-                    px[r * k + c] - s * static_cast<float>(pq[r * k + c]);
-            }
-        }
-    }
-    Tensor y_shadow = MatMulRowSubset(residual, pl.w_deq, extracted);
-    AddInPlace(y, y_shadow);
     return y;
 }
 

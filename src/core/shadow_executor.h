@@ -56,6 +56,18 @@ class NpuShadowExecutor : public LinearExecutor
                       const OutlierProfile& profile, double pruning_rate);
 
     Tensor Forward(int layer, LinearKind kind, const Tensor& x) override;
+
+    /**
+     * Batched entry: the NPU term (static clip scale, per-tensor INT8) is
+     * row-independent, so the whole stack runs as one packed W8A8 matmul;
+     * outlier extraction and the compact shadow matmul stay per sequence,
+     * since the extracted channel set is a property of one sequence's
+     * activations. Stats advance exactly as B sequential Forward calls
+     * would. Bitwise identical to per-segment Forward.
+     */
+    Tensor ForwardBatch(int layer, LinearKind kind, const Tensor& x,
+                        const BatchSegments& segments) override;
+
     std::string Name() const override { return "llm.npu"; }
 
     const ShadowRuntimeStats& stats() const { return stats_; }
@@ -68,6 +80,14 @@ class NpuShadowExecutor : public LinearExecutor
     int64_t ResidentShadowWeightBytes() const;
 
   private:
+    struct PreparedLinear;
+
+    /** Extracts outlier channels over rows [r0, r1) of `x` and adds their
+     *  compact float residual matmul into the same rows of `y`. */
+    void AddShadowTerm(const PreparedLinear& pl,
+                       const LinearOutlierProfile& op, const Tensor& x,
+                       const Tensor& x_q, int64_t r0, int64_t r1, Tensor& y);
+
     struct PreparedLinear {
         PackedWeightsI8 npu_packed;  ///< int8 panels + per-column scales
         Tensor w_deq;                ///< dequantized copy for the shadow term

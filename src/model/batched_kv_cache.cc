@@ -1,0 +1,49 @@
+#include "src/model/batched_kv_cache.h"
+
+#include "src/util/check.h"
+
+namespace llmnpu {
+
+BatchedKvCache::BatchedKvCache(int num_layers, int64_t kv_dim,
+                               int num_sequences)
+    : num_layers_(num_layers), kv_dim_(kv_dim)
+{
+    LLMNPU_CHECK_GT(num_layers, 0);
+    LLMNPU_CHECK_GT(kv_dim, 0);
+    LLMNPU_CHECK_GE(num_sequences, 0);
+    seqs_.reserve(static_cast<size_t>(num_sequences));
+    for (int i = 0; i < num_sequences; ++i) AddSequence();
+}
+
+int
+BatchedKvCache::AddSequence()
+{
+    seqs_.emplace_back(num_layers_, kv_dim_);
+    return static_cast<int>(seqs_.size()) - 1;
+}
+
+KvCache&
+BatchedKvCache::Sequence(int seq)
+{
+    LLMNPU_CHECK_GE(seq, 0);
+    LLMNPU_CHECK_LT(seq, num_sequences());
+    return seqs_[static_cast<size_t>(seq)];
+}
+
+const KvCache&
+BatchedKvCache::Sequence(int seq) const
+{
+    LLMNPU_CHECK_GE(seq, 0);
+    LLMNPU_CHECK_LT(seq, num_sequences());
+    return seqs_[static_cast<size_t>(seq)];
+}
+
+int64_t
+BatchedKvCache::SizeBytes() const
+{
+    int64_t total = 0;
+    for (const KvCache& cache : seqs_) total += cache.SizeBytes();
+    return total;
+}
+
+}  // namespace llmnpu

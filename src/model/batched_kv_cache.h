@@ -1,0 +1,57 @@
+/**
+ * @file
+ * A batch of per-sequence KV caches behind one view.
+ *
+ * The batched forward path (Transformer::ForwardBatch) runs B sequences of
+ * possibly different lengths through one set of stacked matmuls, but
+ * attention stays strictly per-sequence: each sequence reads and appends
+ * only its own K/V history. BatchedKvCache owns one KvCache per sequence
+ * slot and provides the aggregate accounting the serving layer wants
+ * (total bytes, per-slot lengths).
+ */
+#ifndef LLMNPU_MODEL_BATCHED_KV_CACHE_H
+#define LLMNPU_MODEL_BATCHED_KV_CACHE_H
+
+#include <vector>
+
+#include "src/model/kv_cache.h"
+
+namespace llmnpu {
+
+/** Growable set of per-sequence KV caches sharing one model geometry. */
+class BatchedKvCache
+{
+  public:
+    /**
+     * @param num_layers number of transformer blocks.
+     * @param kv_dim per-position K (and V) width = num_kv_heads * head_dim.
+     * @param num_sequences initial sequence slots (may be grown later).
+     */
+    BatchedKvCache(int num_layers, int64_t kv_dim, int num_sequences = 0);
+
+    /** Adds an empty sequence slot; @return its index. */
+    int AddSequence();
+
+    /** The per-sequence cache of one slot. */
+    KvCache& Sequence(int seq);
+    const KvCache& Sequence(int seq) const;
+
+    int num_sequences() const { return static_cast<int>(seqs_.size()); }
+    int num_layers() const { return num_layers_; }
+    int64_t kv_dim() const { return kv_dim_; }
+
+    /** Positions cached for one slot (layer-0 length, layers in lockstep). */
+    int64_t SeqLen(int seq) const { return Sequence(seq).SeqLen(); }
+
+    /** Bytes held across all sequences and layers (f32). */
+    int64_t SizeBytes() const;
+
+  private:
+    int num_layers_;
+    int64_t kv_dim_;
+    std::vector<KvCache> seqs_;
+};
+
+}  // namespace llmnpu
+
+#endif  // LLMNPU_MODEL_BATCHED_KV_CACHE_H

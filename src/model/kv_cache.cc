@@ -1,5 +1,6 @@
 #include "src/model/kv_cache.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "src/util/check.h"
@@ -30,6 +31,19 @@ KvCache::Append(int layer, const Tensor& k, const Tensor& v)
     vs.resize(old + n);
     std::memcpy(ks.data() + old, k.Data<float>(), n * sizeof(float));
     std::memcpy(vs.data() + old, v.Data<float>(), n * sizeof(float));
+
+    // Layer-lockstep invariant: a chunk is appended layer 0 first, so a
+    // later layer may never lead layer 0, and no layer may lead the
+    // shortest layer by more than the in-flight chunk. O(num_layers) per
+    // append — cheap next to the copy.
+    int64_t min_len = SeqLen(0), max_len = min_len;
+    for (int l = 1; l < num_layers(); ++l) {
+        const int64_t len = SeqLen(l);
+        min_len = std::min(min_len, len);
+        max_len = std::max(max_len, len);
+    }
+    LLMNPU_CHECK_LE(max_len - min_len, k.Rows());
+    if (layer > 0) LLMNPU_CHECK_LE(SeqLen(layer), SeqLen(0));
 }
 
 Tensor

@@ -24,7 +24,16 @@ class KvCache
      */
     KvCache(int num_layers, int64_t kv_dim);
 
-    /** Appends `k` and `v` ([n x kv_dim]) for one layer. */
+    /**
+     * Appends `k` and `v` ([n x kv_dim]) for one layer.
+     *
+     * Enforces the layer-lockstep invariant the accessors rely on: a forward
+     * pass appends one chunk to layer 0 first and then to every later layer
+     * in turn, so after any append (a) no layer may lead the shortest layer
+     * by more than the in-flight chunk (`n` rows) and (b) a layer > 0 may
+     * never lead layer 0. Appending a second chunk to a layer before every
+     * other layer has received the first is a caller bug and panics.
+     */
     void Append(int layer, const Tensor& k, const Tensor& v);
 
     /** All cached keys for a layer as a [len x kv_dim] tensor. */

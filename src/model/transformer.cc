@@ -7,11 +7,53 @@
 
 namespace llmnpu {
 
+void
+CheckBatchSegments(const Tensor& x, const BatchSegments& segments)
+{
+    LLMNPU_CHECK_GE(segments.size(), 2u);
+    LLMNPU_CHECK_EQ(segments.front(), 0);
+    LLMNPU_CHECK_EQ(segments.back(), x.Rows());
+    for (size_t i = 1; i < segments.size(); ++i) {
+        LLMNPU_CHECK_GT(segments[i], segments[i - 1]);
+    }
+}
+
+Tensor
+LinearExecutor::ForwardBatch(int layer, LinearKind kind, const Tensor& x,
+                             const BatchSegments& segments)
+{
+    CheckBatchSegments(x, segments);
+    // Reference path: each segment forwarded alone, outputs scattered back.
+    // Bitwise identical to sequential execution by construction.
+    Tensor out;
+    for (size_t i = 0; i + 1 < segments.size(); ++i) {
+        const int64_t r0 = segments[i];
+        const int64_t rows = segments[i + 1] - r0;
+        Tensor y = Forward(layer, kind, x.CopyRows(r0, rows));
+        if (out.Rank() == 0) {
+            out = Tensor({x.Rows(), y.Cols()}, DType::kF32);
+        }
+        out.PasteRows(y, r0);
+    }
+    return out;
+}
+
 Tensor
 Fp32LinearExecutor::Forward(int layer, LinearKind kind, const Tensor& x)
 {
     // Packed panels are built once at load (ModelWeights::PackAllLinears),
     // so every forward hits the tiled kernel with zero packing cost.
+    return MatMulF32Packed(x, weights_.PackedLinear(layer, kind));
+}
+
+Tensor
+Fp32LinearExecutor::ForwardBatch(int layer, LinearKind kind, const Tensor& x,
+                                 const BatchSegments& segments)
+{
+    // The tiled f32 kernel computes every output row with a fixed
+    // K-ascending accumulation that does not depend on the other rows, so
+    // the whole stack runs as one matmul.
+    (void)segments;
     return MatMulF32Packed(x, weights_.PackedLinear(layer, kind));
 }
 
@@ -27,6 +69,15 @@ Transformer::MakeCache() const
     const auto& c = weights_.config;
     return KvCache(c.num_layers,
                    static_cast<int64_t>(c.num_kv_heads) * c.head_dim);
+}
+
+BatchedKvCache
+Transformer::MakeBatchedCache(int num_sequences) const
+{
+    const auto& c = weights_.config;
+    return BatchedKvCache(c.num_layers,
+                          static_cast<int64_t>(c.num_kv_heads) * c.head_dim,
+                          num_sequences);
 }
 
 Tensor
@@ -102,6 +153,104 @@ Transformer::ForwardBlock(int layer, const Tensor& x, KvCache& cache,
     Tensor down = linears.Forward(layer, LinearKind::kFfnDown, up);
     AddInPlace(h, down);
     return h;
+}
+
+Tensor
+Transformer::ForwardBlockBatch(int layer, const Tensor& x,
+                               const std::vector<BatchSeq>& batch,
+                               const BatchSegments& segments,
+                               const std::vector<int64_t>& pos_offsets,
+                               BatchedKvCache& cache,
+                               LinearExecutor& linears) const
+{
+    const auto& c = weights_.config;
+    const auto& lw = weights_.layers[static_cast<size_t>(layer)];
+    const size_t b = batch.size();
+
+    // --- Attention sub-block. Norms are row-wise and the QKV projections
+    // run as stacked matmuls; RoPE, cache append and causal attention are
+    // strictly per-sequence (own position offset, own K/V history).
+    Tensor normed = Normed(x, lw.attn_norm_gamma, lw.attn_norm_beta);
+    Tensor q = linears.ForwardBatch(layer, LinearKind::kWq, normed, segments);
+    Tensor k = linears.ForwardBatch(layer, LinearKind::kWk, normed, segments);
+    Tensor v = linears.ForwardBatch(layer, LinearKind::kWv, normed, segments);
+
+    Tensor attn({x.Rows(), q.Cols()}, DType::kF32);
+    for (size_t i = 0; i < b; ++i) {
+        const int64_t r0 = segments[i];
+        const int64_t rows = segments[i + 1] - r0;
+        const int64_t pos = pos_offsets[i];
+        ApplyRopeRows(q, r0, rows, c.num_heads, c.head_dim, pos);
+        ApplyRopeRows(k, r0, rows, c.num_kv_heads, c.head_dim, pos);
+        KvCache& seq_cache = cache.Sequence(batch[i].seq);
+        seq_cache.Append(layer, k.CopyRows(r0, rows), v.CopyRows(r0, rows));
+        Tensor attn_seq =
+            CausalAttention(q.CopyRows(r0, rows), seq_cache.Keys(layer),
+                            seq_cache.Values(layer), c.num_heads,
+                            c.num_kv_heads, pos);
+        attn.PasteRows(attn_seq, r0);
+    }
+    Tensor attn_out =
+        linears.ForwardBatch(layer, LinearKind::kWo, attn, segments);
+    Tensor h = Add(x, attn_out);
+
+    // --- FFN sub-block: everything is row-wise or a stacked matmul.
+    Tensor ffn_in = Normed(h, lw.ffn_norm_gamma, lw.ffn_norm_beta);
+    Tensor up =
+        linears.ForwardBatch(layer, LinearKind::kFfnUp, ffn_in, segments);
+    if (c.gated_ffn) {
+        Tensor gate = linears.ForwardBatch(layer, LinearKind::kFfnGate,
+                                           ffn_in, segments);
+        if (c.act == ActKind::kSiLU) {
+            SiluInPlace(gate);
+        } else {
+            GeluInPlace(gate);
+        }
+        up = Mul(gate, up);
+    } else {
+        if (c.act == ActKind::kSiLU) {
+            SiluInPlace(up);
+        } else {
+            GeluInPlace(up);
+        }
+    }
+    Tensor down =
+        linears.ForwardBatch(layer, LinearKind::kFfnDown, up, segments);
+    AddInPlace(h, down);
+    return h;
+}
+
+Tensor
+Transformer::ForwardBatch(const std::vector<BatchSeq>& batch,
+                          BatchedKvCache& cache,
+                          LinearExecutor& linears) const
+{
+    LLMNPU_CHECK(!batch.empty());
+    const size_t b = batch.size();
+
+    // Segment boundaries of the stacked activation, per-sequence position
+    // offsets (captured before any append), and the stacked embedding.
+    BatchSegments segments(b + 1, 0);
+    std::vector<int64_t> pos_offsets(b, 0);
+    std::vector<int> stacked_tokens;
+    for (size_t i = 0; i < b; ++i) {
+        LLMNPU_CHECK(!batch[i].tokens.empty());
+        for (size_t j = 0; j < i; ++j) {
+            LLMNPU_CHECK_NE(batch[j].seq, batch[i].seq);
+        }
+        segments[i + 1] =
+            segments[i] + static_cast<int64_t>(batch[i].tokens.size());
+        pos_offsets[i] = cache.Sequence(batch[i].seq).SeqLen();
+        stacked_tokens.insert(stacked_tokens.end(), batch[i].tokens.begin(),
+                              batch[i].tokens.end());
+    }
+
+    Tensor x = Embed(stacked_tokens);
+    for (int l = 0; l < weights_.config.num_layers; ++l) {
+        x = ForwardBlockBatch(l, x, batch, segments, pos_offsets, cache,
+                              linears);
+    }
+    return Normed(x, weights_.final_norm_gamma, weights_.final_norm_beta);
 }
 
 Tensor

@@ -16,11 +16,24 @@
 #include <string>
 #include <vector>
 
+#include "src/model/batched_kv_cache.h"
 #include "src/model/kv_cache.h"
 #include "src/model/weights.h"
 #include "src/tensor/tensor.h"
 
 namespace llmnpu {
+
+/**
+ * Segment boundaries of a stacked batch activation: rows
+ * [segments[i], segments[i+1]) of the [sum(m_i) x k] tensor belong to
+ * sequence i. Size B+1 with segments[0] == 0 and segments[B] == rows.
+ */
+using BatchSegments = std::vector<int64_t>;
+
+/** Panics unless `segments` is a proper partition of x's rows (size >= 2,
+ *  starts at 0, strictly increasing, ends at x.Rows()). Every ForwardBatch
+ *  implementation that dereferences the segment bounds must call this. */
+void CheckBatchSegments(const Tensor& x, const BatchSegments& segments);
 
 /** Computes y = Linear(layer, kind)(x); implementations choose the kernel. */
 class LinearExecutor
@@ -30,6 +43,25 @@ class LinearExecutor
 
     /** @param x f32 activations [seq x k]; @return f32 [seq x n]. */
     virtual Tensor Forward(int layer, LinearKind kind, const Tensor& x) = 0;
+
+    /**
+     * Batched entry point: `x` stacks B sequences' activations row-block by
+     * row-block ([sum(m_i) x k], boundaries in `segments`); @return the
+     * stacked [sum(m_i) x n] outputs.
+     *
+     * Contract: rows of the result are bitwise identical to calling
+     * Forward() on each segment alone. The base implementation does exactly
+     * that (slice, forward, scatter); executors whose per-row math is
+     * independent of the other rows (fp32, static-scale and per-row-scale
+     * quantizers, the shadow executor's NPU term) override it with one
+     * stacked kernel call so B concurrent m=1 matvecs become a single m=B
+     * tiled matmul. Executors with batch-global dynamics (PerTensorExecutor
+     * derives its activation scale from all rows of x) must keep the
+     * per-segment path — a stacked call would change every sequence's
+     * quantization grid.
+     */
+    virtual Tensor ForwardBatch(int layer, LinearKind kind, const Tensor& x,
+                                const BatchSegments& segments);
 
     /** Algorithm name for reports ("FP16", "SmoothQuant", ...). */
     virtual std::string Name() const = 0;
@@ -44,10 +76,22 @@ class Fp32LinearExecutor : public LinearExecutor
     {}
 
     Tensor Forward(int layer, LinearKind kind, const Tensor& x) override;
+    /** One stacked matmul over the packed panels (rows are independent). */
+    Tensor ForwardBatch(int layer, LinearKind kind, const Tensor& x,
+                        const BatchSegments& segments) override;
     std::string Name() const override { return "FP16"; }
 
   private:
     const ModelWeights& weights_;
+};
+
+/** One sequence's contribution to a batched forward step. */
+struct BatchSeq {
+    /** Sequence slot in the BatchedKvCache. */
+    int seq = 0;
+    /** Tokens this sequence runs this step: a prefill chunk (m_i > 1) or a
+     *  single decode token (m_i == 1). */
+    std::vector<int> tokens;
 };
 
 /**
@@ -69,6 +113,9 @@ class Transformer
     /** Creates an empty cache sized for this model. */
     KvCache MakeCache() const;
 
+    /** Creates an empty batched cache with `num_sequences` slots. */
+    BatchedKvCache MakeBatchedCache(int num_sequences = 0) const;
+
     /** Embedding lookup: tokens -> [seq x hidden]. */
     Tensor Embed(const std::vector<int>& tokens) const;
 
@@ -79,6 +126,32 @@ class Transformer
      */
     Tensor Forward(const std::vector<int>& tokens, KvCache& cache,
                    LinearExecutor& linears) const;
+
+    /**
+     * Batched forward: runs B sequences of possibly different lengths
+     * through one set of stacked matmuls.
+     *
+     * The B row blocks are stacked into a single [sum(m_i) x hidden]
+     * activation so every linear runs as one tiled matmul (batched decode
+     * turns B concurrent m=1 matvecs into one m=B matmul); norms and
+     * activations are row-wise; RoPE and causal attention run per sequence
+     * with that sequence's cache length as its position offset, each
+     * sequence appending to and reading only its own KvCache slot.
+     *
+     * Batch-exactness contract (extends the chunk-exactness contract):
+     * segment i of the result is bitwise identical to calling Forward() on
+     * sequence i alone with the same per-sequence cache state, for every
+     * executor honoring the ForwardBatch contract. Verified by
+     * tests/batched_test.cc across ragged shapes and executors.
+     *
+     * @param batch sequences to advance; distinct `seq` slots, each with at
+     *        least one token.
+     * @return stacked final-norm hidden states [sum(m_i) x hidden], row
+     *         blocks in `batch` order.
+     */
+    Tensor ForwardBatch(const std::vector<BatchSeq>& batch,
+                        BatchedKvCache& cache,
+                        LinearExecutor& linears) const;
 
     /** Logits from hidden states via the tied embedding: [seq x vocab]. */
     Tensor Logits(const Tensor& hidden) const;
@@ -97,6 +170,13 @@ class Transformer
   private:
     Tensor ForwardBlock(int layer, const Tensor& x, KvCache& cache,
                         int64_t pos_offset, LinearExecutor& linears) const;
+
+    Tensor ForwardBlockBatch(int layer, const Tensor& x,
+                             const std::vector<BatchSeq>& batch,
+                             const BatchSegments& segments,
+                             const std::vector<int64_t>& pos_offsets,
+                             BatchedKvCache& cache,
+                             LinearExecutor& linears) const;
 
     Tensor Normed(const Tensor& x, const Tensor& gamma, const Tensor& beta)
         const;

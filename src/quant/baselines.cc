@@ -114,6 +114,16 @@ KQuantExecutor::Forward(int layer, LinearKind kind, const Tensor& x)
     return MatMulPerGroup(x, w);
 }
 
+Tensor
+KQuantExecutor::ForwardBatch(int layer, LinearKind kind, const Tensor& x,
+                             const BatchSegments& segments)
+{
+    // Per-(row, group) activation scales never cross rows, so the stacked
+    // per-group matmul is bitwise identical to per-segment calls.
+    (void)segments;
+    return Forward(layer, kind, x);
+}
+
 // --------------------------------------------------------------------------
 // AwqExecutor
 // --------------------------------------------------------------------------
@@ -179,6 +189,16 @@ AwqExecutor::Forward(int layer, LinearKind kind, const Tensor& x)
 {
     return MatMulF32(x, w_eff_[static_cast<size_t>(layer)]
                               [static_cast<size_t>(LinearKindIndex(kind))]);
+}
+
+Tensor
+AwqExecutor::ForwardBatch(int layer, LinearKind kind, const Tensor& x,
+                          const BatchSegments& segments)
+{
+    // Weight-only quantization: activations stay float and the f32 kernel
+    // computes each row with a fixed K-ascending order.
+    (void)segments;
+    return Forward(layer, kind, x);
 }
 
 // --------------------------------------------------------------------------
@@ -254,6 +274,16 @@ SmoothQuantExecutor::Forward(int layer, LinearKind kind, const Tensor& x)
     Tensor x_q = QuantizeSymmetric(x_smooth, params);
     return MatMulW8A8PerTensor(x_q, params.scale, sl.weights.q,
                                sl.weights.scales);
+}
+
+Tensor
+SmoothQuantExecutor::ForwardBatch(int layer, LinearKind kind, const Tensor& x,
+                                  const BatchSegments& segments)
+{
+    // Smoothing and the static activation scale are offline constants, so
+    // quantization is element-wise and the stacked call is exact.
+    (void)segments;
+    return Forward(layer, kind, x);
 }
 
 // --------------------------------------------------------------------------
@@ -342,6 +372,16 @@ LlmInt8Executor::Forward(int layer, LinearKind kind, const Tensor& x)
         AddInPlace(y, y_out);
     }
     return y;
+}
+
+Tensor
+LlmInt8Executor::ForwardBatch(int layer, LinearKind kind, const Tensor& x,
+                              const BatchSegments& segments)
+{
+    // The outlier channel set is static (calibration-time) and activation
+    // scales are per row, so the stacked decomposition is exact.
+    (void)segments;
+    return Forward(layer, kind, x);
 }
 
 }  // namespace llmnpu

@@ -31,6 +31,10 @@ class PerTensorExecutor : public LinearExecutor
     explicit PerTensorExecutor(const ModelWeights& weights);
 
     Tensor Forward(int layer, LinearKind kind, const Tensor& x) override;
+    // No ForwardBatch override: the dynamic per-tensor activation scale is
+    // computed from every row of x, so a stacked call would couple the
+    // sequences' quantization grids. The per-segment base implementation is
+    // the only exact batched form.
     std::string Name() const override { return "PerTensor-W8A8"; }
 
   private:
@@ -49,6 +53,9 @@ class KQuantExecutor : public LinearExecutor
     KQuantExecutor(const ModelWeights& weights, int group_size = 32);
 
     Tensor Forward(int layer, LinearKind kind, const Tensor& x) override;
+    /** Stacked: per-row dynamics only, so one kernel call is exact. */
+    Tensor ForwardBatch(int layer, LinearKind kind, const Tensor& x,
+                        const BatchSegments& segments) override;
     std::string Name() const override { return "K-Quant"; }
 
     int group_size() const { return group_size_; }
@@ -71,6 +78,9 @@ class AwqExecutor : public LinearExecutor
                 int group_size = 32, double alpha = 0.5);
 
     Tensor Forward(int layer, LinearKind kind, const Tensor& x) override;
+    /** Stacked: per-row dynamics only, so one kernel call is exact. */
+    Tensor ForwardBatch(int layer, LinearKind kind, const Tensor& x,
+                        const BatchSegments& segments) override;
     std::string Name() const override { return "AWQ"; }
 
   private:
@@ -92,6 +102,9 @@ class SmoothQuantExecutor : public LinearExecutor
                         const CalibrationData& calib, double alpha = 0.5);
 
     Tensor Forward(int layer, LinearKind kind, const Tensor& x) override;
+    /** Stacked: per-row dynamics only, so one kernel call is exact. */
+    Tensor ForwardBatch(int layer, LinearKind kind, const Tensor& x,
+                        const BatchSegments& segments) override;
     std::string Name() const override { return "SmoothQuant"; }
 
   private:
@@ -115,6 +128,9 @@ class LlmInt8Executor : public LinearExecutor
                     double outlier_threshold = 6.0);
 
     Tensor Forward(int layer, LinearKind kind, const Tensor& x) override;
+    /** Stacked: per-row dynamics only, so one kernel call is exact. */
+    Tensor ForwardBatch(int layer, LinearKind kind, const Tensor& x,
+                        const BatchSegments& segments) override;
     std::string Name() const override { return "LLM.Int8()"; }
 
     /** Outlier channel count of one linear (for memory/latency analysis). */

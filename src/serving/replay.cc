@@ -1,0 +1,200 @@
+#include "src/serving/replay.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+
+#include "src/util/check.h"
+#include "src/util/format.h"
+#include "src/util/rng.h"
+
+namespace llmnpu {
+
+namespace {
+
+/** Per-request replay state: synthetic streams and collected outputs. */
+struct SeqState {
+    int slot = -1;  ///< BatchedKvCache slot, -1 until first prefill chunk
+    std::vector<int> prompt;
+    std::vector<int> outputs;
+    int chunks_done = 0;
+    int tokens_decoded = 0;
+    /** Hidden/logit rows in execution order, for the bitwise check. */
+    std::vector<float> hidden_rows;
+    std::vector<float> logit_rows;
+};
+
+/** The tokens of prompt chunk `c` of `C` under the near-even partition. */
+std::vector<int>
+ChunkTokens(const std::vector<int>& prompt, int c, int num_chunks)
+{
+    const int p = static_cast<int>(prompt.size());
+    const int base = p / num_chunks;
+    const int rem = p % num_chunks;
+    int start = 0;
+    for (int i = 0; i < c; ++i) start += base + (i < rem ? 1 : 0);
+    const int len = base + (c < rem ? 1 : 0);
+    LLMNPU_CHECK_GT(len, 0);
+    return std::vector<int>(prompt.begin() + start,
+                            prompt.begin() + start + len);
+}
+
+/** Appends every row of `t` to `dst`. */
+void
+AppendRows(std::vector<float>& dst, const Tensor& t)
+{
+    const float* p = t.Data<float>();
+    dst.insert(dst.end(), p, p + t.NumElements());
+}
+
+}  // namespace
+
+ReplayOutcome
+ReplayServingTrace(const std::vector<ReplayStep>& steps,
+                   const std::vector<RequestRecord>& records,
+                   const Transformer& model, LinearExecutor& linears,
+                   const ReplayOptions& options)
+{
+    LLMNPU_CHECK_GT(options.max_prompt_tokens, 0);
+    LLMNPU_CHECK_GT(options.max_output_tokens, 0);
+    const int vocab = model.config().vocab_size;
+
+    ReplayOutcome outcome;
+    std::map<int, SeqState> seqs;
+
+    // ---- Synthetic teacher-forced token streams, derived from the trace.
+    // Prompt length is the serving-trace length clamped to a tractable
+    // range; chunk boundaries are the near-even partition into the number
+    // of chunks the scheduler actually dispatched.
+    std::map<int, int> num_chunks;  // request id -> chunk count
+    for (const ReplayStep& step : steps) {
+        if (!step.is_prefill) continue;
+        LLMNPU_CHECK_EQ(step.request_ids.size(), 1u);
+        num_chunks[step.request_ids.front()] = step.num_chunks;
+    }
+    for (const auto& [id, chunks] : num_chunks) {
+        LLMNPU_CHECK_GE(id, 0);
+        LLMNPU_CHECK_LT(static_cast<size_t>(id), records.size());
+        const ServingRequest& request =
+            records[static_cast<size_t>(id)].request;
+        SeqState state;
+        const int prompt_len = std::max(
+            chunks, std::min(options.max_prompt_tokens, request.prompt_len));
+        const int output_len =
+            std::min(options.max_output_tokens, request.output_len);
+        Rng rng(options.seed ^ (0x9e3779b97f4a7c15ULL *
+                                static_cast<uint64_t>(id + 1)));
+        for (int i = 0; i < prompt_len; ++i) {
+            state.prompt.push_back(
+                static_cast<int>(rng.Next() % static_cast<uint64_t>(vocab)));
+        }
+        for (int i = 0; i < output_len; ++i) {
+            state.outputs.push_back(
+                static_cast<int>(rng.Next() % static_cast<uint64_t>(vocab)));
+        }
+        seqs.emplace(id, std::move(state));
+    }
+    outcome.sequences = static_cast<int>(seqs.size());
+
+    // ---- Batched replay: execute each step through ForwardBatch.
+    BatchedKvCache cache = model.MakeBatchedCache();
+    for (const ReplayStep& step : steps) {
+        std::vector<BatchSeq> batch;
+        std::vector<int> member_ids;
+        if (step.is_prefill) {
+            const int id = step.request_ids.front();
+            SeqState& state = seqs.at(id);
+            if (state.slot < 0) state.slot = cache.AddSequence();
+            LLMNPU_CHECK_EQ(state.chunks_done, step.chunk_index);
+            batch.push_back({state.slot,
+                             ChunkTokens(state.prompt, step.chunk_index,
+                                         step.num_chunks)});
+            member_ids.push_back(id);
+            ++state.chunks_done;
+        } else {
+            for (int id : step.request_ids) {
+                SeqState& state = seqs.at(id);
+                LLMNPU_CHECK_EQ(state.chunks_done,
+                                num_chunks.at(id));  // prefilled
+                if (state.tokens_decoded >=
+                    static_cast<int>(state.outputs.size())) {
+                    ++outcome.truncated_memberships;
+                    continue;
+                }
+                batch.push_back(
+                    {state.slot,
+                     {state.outputs[static_cast<size_t>(
+                         state.tokens_decoded)]}});
+                member_ids.push_back(id);
+                ++state.tokens_decoded;
+            }
+            if (batch.empty()) continue;  // all members past the cap
+            outcome.max_decode_batch =
+                std::max(outcome.max_decode_batch,
+                         static_cast<int>(batch.size()));
+        }
+
+        Tensor hidden = model.ForwardBatch(batch, cache, linears);
+        Tensor logits = model.Logits(hidden);
+        ++outcome.steps_executed;
+        outcome.stacked_rows += hidden.Rows();
+        if (step.is_prefill) {
+            ++outcome.prefill_steps;
+        } else {
+            ++outcome.decode_steps;
+        }
+
+        int64_t row = 0;
+        for (size_t i = 0; i < batch.size(); ++i) {
+            const int64_t rows =
+                static_cast<int64_t>(batch[i].tokens.size());
+            SeqState& state = seqs.at(member_ids[i]);
+            AppendRows(state.hidden_rows, hidden.CopyRows(row, rows));
+            AppendRows(state.logit_rows, logits.CopyRows(row, rows));
+            row += rows;
+        }
+    }
+
+    if (!options.check_bitwise) return outcome;
+
+    // ---- Reference: every sequence alone, same per-step token groups, the
+    // single-sequence Forward path. Bitwise comparison against the batched
+    // rows catches any batch-size dependence anywhere in the stack.
+    for (auto& [id, state] : seqs) {
+        if (state.slot < 0) continue;  // never dispatched in the trace
+        KvCache solo = model.MakeCache();
+        std::vector<float> hidden_rows, logit_rows;
+        for (int c = 0; c < state.chunks_done; ++c) {
+            Tensor h = model.Forward(
+                ChunkTokens(state.prompt, c, num_chunks.at(id)), solo,
+                linears);
+            AppendRows(hidden_rows, h);
+            AppendRows(logit_rows, model.Logits(h));
+        }
+        for (int t = 0; t < state.tokens_decoded; ++t) {
+            Tensor h = model.Forward(
+                {state.outputs[static_cast<size_t>(t)]}, solo, linears);
+            AppendRows(hidden_rows, h);
+            AppendRows(logit_rows, model.Logits(h));
+        }
+        const bool hidden_ok =
+            hidden_rows.size() == state.hidden_rows.size() &&
+            std::memcmp(hidden_rows.data(), state.hidden_rows.data(),
+                        hidden_rows.size() * sizeof(float)) == 0;
+        const bool logits_ok =
+            logit_rows.size() == state.logit_rows.size() &&
+            std::memcmp(logit_rows.data(), state.logit_rows.data(),
+                        logit_rows.size() * sizeof(float)) == 0;
+        if (!hidden_ok || !logits_ok) {
+            outcome.bitwise_match = false;
+            if (outcome.first_mismatch.empty()) {
+                outcome.first_mismatch = StrFormat(
+                    "request %d: batched %s differ from sequential", id,
+                    hidden_ok ? "logits" : "hidden states");
+            }
+        }
+    }
+    return outcome;
+}
+
+}  // namespace llmnpu

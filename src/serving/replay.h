@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Serving→numeric bridge: replays a simulated serving schedule on real
+ * tensors.
+ *
+ * The simulator batches at the cost-model level; this module takes the
+ * per-step batch composition it exports (ServingResult::replay_steps) and
+ * executes it through Transformer::ForwardBatch — every prefill chunk and
+ * every continuously batched decode step runs as one stacked matmul over
+ * the member sequences, each sequence keeping its own KV slot. Token
+ * streams are synthetic and teacher-forced (deterministic per request id),
+ * so the same schedule can also be re-run sequence-by-sequence with plain
+ * Forward() and compared bitwise — the §3.2 chunk-exactness argument
+ * extended to multi-request batches.
+ */
+#ifndef LLMNPU_SERVING_REPLAY_H
+#define LLMNPU_SERVING_REPLAY_H
+
+#include <string>
+#include <vector>
+
+#include "src/model/transformer.h"
+#include "src/serving/simulator.h"
+
+namespace llmnpu {
+
+/** Options scaling a served trace down to a tractable numeric replay. */
+struct ReplayOptions {
+    /** Replayed prompt length: the serving-trace prompt length clamped to
+     *  [num_chunks, max_prompt_tokens] (each chunk needs >= 1 token). */
+    int max_prompt_tokens = 24;
+    /** Decode tokens replayed per request; members past the cap drop out of
+     *  later decode steps (their truncated memberships are counted). */
+    int max_output_tokens = 4;
+    /** Seed for the per-request synthetic token streams. */
+    uint64_t seed = 0xb47c;
+    /** Re-run every sequence alone and compare hidden states and logits
+     *  bitwise against the batched replay. */
+    bool check_bitwise = true;
+};
+
+/** What the replay executed and whether it matched sequential execution. */
+struct ReplayOutcome {
+    int sequences = 0;
+    int steps_executed = 0;
+    int prefill_steps = 0;
+    int decode_steps = 0;
+    /** Largest decode batch actually stacked (the m of the m=B matmul). */
+    int max_decode_batch = 0;
+    /** Total activation rows pushed through ForwardBatch. */
+    int64_t stacked_rows = 0;
+    /** Decode-step memberships dropped by max_output_tokens. */
+    int64_t truncated_memberships = 0;
+    /** true when every sequence's hidden states and logits were bitwise
+     *  identical to running it alone (always true when check_bitwise was
+     *  off and no comparison ran). */
+    bool bitwise_match = true;
+    /** First mismatch description, empty when bitwise_match. */
+    std::string first_mismatch;
+};
+
+/**
+ * Replays `steps` (from a ServingResult) through `model` with `linears`.
+ *
+ * @param steps   per-step batch composition, execution order.
+ * @param records per-request records of the same run (prompt/output
+ *                lengths), indexed by request id.
+ */
+ReplayOutcome ReplayServingTrace(const std::vector<ReplayStep>& steps,
+                                 const std::vector<RequestRecord>& records,
+                                 const Transformer& model,
+                                 LinearExecutor& linears,
+                                 const ReplayOptions& options = {});
+
+}  // namespace llmnpu
+
+#endif  // LLMNPU_SERVING_REPLAY_H

@@ -232,6 +232,11 @@ ServingSimulator::Run()
                  Unit::kNpu, npu_end - npu_start, {}, npu_job.next_chunk,
                  -1});
             result.trace.records.push_back({npu_start, npu_end});
+            result.replay_steps.push_back(
+                {/*is_prefill=*/true,
+                 {npu_job.id},
+                 npu_job.next_chunk,
+                 static_cast<int>(npu_job.profile->chunk_ms.size())});
             npu_busy = false;
             ++npu_job.next_chunk;
             if (static_cast<size_t>(npu_job.next_chunk) <
@@ -250,6 +255,8 @@ ServingSimulator::Run()
                            step_members.size()),
                  Unit::kCpu, elapsed, {}, -1, -1});
             result.trace.records.push_back({step_start, now});
+            result.replay_steps.push_back(
+                {/*is_prefill=*/false, step_members, -1, 0});
             ++step_counter;
             result.decode_busy_ms += elapsed;
             step_active = false;

@@ -59,6 +59,25 @@ struct ServingOptions {
     double decode_batch_marginal = 0.15;
 };
 
+/**
+ * One executed quantum of a run as the numeric plane sees it: which
+ * requests ran together and, for prefill, which chunk of how many. The
+ * sequence of ReplaySteps is the serving→numeric bridge — replaying it
+ * through Transformer::ForwardBatch (src/serving/replay.h) executes the
+ * exact batch composition the scheduler produced on real tensors.
+ */
+struct ReplayStep {
+    /** true: one request's prefill chunk on the NPU; false: a continuously
+     *  batched decode step (every member emits one token). */
+    bool is_prefill = false;
+    /** Batch members in decode-pool order (exactly one id for prefill). */
+    std::vector<int> request_ids;
+    /** Prefill only: chunk index within the request's chunk sequence. */
+    int chunk_index = -1;
+    /** Prefill only: total chunks of the request. */
+    int num_chunks = 0;
+};
+
 /** Raw outcome of a serving run. */
 struct ServingResult {
     /** One record per admitted request, indexed by request id. */
@@ -75,6 +94,10 @@ struct ServingResult {
      *  request (or decode step) a task belongs to is in its label. */
     std::vector<SimTask> trace_tasks;
     TimelineResult trace;
+
+    /** Per-step batch composition in execution order (parallel to
+     *  trace_tasks), for numeric-plane replay. */
+    std::vector<ReplayStep> replay_steps;
 
     ServingReport Report() const;
 };

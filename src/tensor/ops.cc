@@ -141,12 +141,21 @@ void
 ApplyRope(Tensor& x, int num_heads, int head_dim, int64_t pos_offset,
           float theta)
 {
+    ApplyRopeRows(x, 0, x.Rows(), num_heads, head_dim, pos_offset, theta);
+}
+
+void
+ApplyRopeRows(Tensor& x, int64_t row_begin, int64_t row_count, int num_heads,
+              int head_dim, int64_t pos_offset, float theta)
+{
     LLMNPU_CHECK_EQ(x.Rank(), 2);
     LLMNPU_CHECK_EQ(x.Cols(), static_cast<int64_t>(num_heads) * head_dim);
     LLMNPU_CHECK_EQ(head_dim % 2, 0);
-    const int64_t seq = x.Rows();
+    LLMNPU_CHECK_GE(row_begin, 0);
+    LLMNPU_CHECK_LE(row_begin + row_count, x.Rows());
     const int half = head_dim / 2;
-    float* p = x.Data<float>();
+    float* p = x.Data<float>() + row_begin * x.Cols();
+    const int64_t seq = row_count;
     for (int64_t s = 0; s < seq; ++s) {
         const double pos = static_cast<double>(pos_offset + s);
         for (int h = 0; h < num_heads; ++h) {

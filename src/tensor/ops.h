@@ -49,6 +49,17 @@ void ApplyRope(Tensor& x, int num_heads, int head_dim, int64_t pos_offset,
                float theta = 10000.0f);
 
 /**
+ * ApplyRope restricted to rows [row_begin, row_begin + row_count) of `x`,
+ * with row `row_begin` at global position `pos_offset`. Used by the batched
+ * forward path, where each sequence's segment of a stacked [sum(m_i) x d]
+ * tensor carries its own position offset. Bitwise identical to calling the
+ * whole-tensor overload on a copy of the segment.
+ */
+void ApplyRopeRows(Tensor& x, int64_t row_begin, int64_t row_count,
+                   int num_heads, int head_dim, int64_t pos_offset,
+                   float theta = 10000.0f);
+
+/**
  * Causal multi-head attention with grouped-query support.
  *
  * The Q rows sit at global positions [q_pos_offset, q_pos_offset + q_len);

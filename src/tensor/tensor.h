@@ -45,7 +45,9 @@ class Tensor
     Zeros(std::vector<int64_t> shape, DType dtype = DType::kF32)
     {
         Tensor t(std::move(shape), dtype);
-        std::memset(t.data_.data(), 0, t.data_.size());
+        if (!t.data_.empty()) {  // memset(nullptr, 0, 0) is UB
+            std::memset(t.data_.data(), 0, t.data_.size());
+        }
         return t;
     }
 
@@ -65,8 +67,10 @@ class Tensor
     {
         Tensor t(std::move(shape), DType::kF32);
         LLMNPU_CHECK_EQ(static_cast<int64_t>(values.size()), t.NumElements());
-        std::memcpy(t.Data<float>(), values.data(),
-                    values.size() * sizeof(float));
+        if (!values.empty()) {  // memcpy from nullptr is UB even for n=0
+            std::memcpy(t.Data<float>(), values.data(),
+                        values.size() * sizeof(float));
+        }
         return t;
     }
 
@@ -157,10 +161,34 @@ class Tensor
         Tensor out({n, Cols()}, dtype_);
         const size_t row_bytes = static_cast<size_t>(Cols()) *
                                  DTypeSize(dtype_);
-        std::memcpy(out.data_.data(),
-                    data_.data() + static_cast<size_t>(start) * row_bytes,
-                    static_cast<size_t>(n) * row_bytes);
+        if (n > 0 && row_bytes > 0) {
+            std::memcpy(out.data_.data(),
+                        data_.data() + static_cast<size_t>(start) * row_bytes,
+                        static_cast<size_t>(n) * row_bytes);
+        }
         return out;
+    }
+
+    /** Overwrites rows [start, start + src.Rows()) with the rows of `src`
+     *  (the scatter counterpart of CopyRows, used to write one sequence's
+     *  segment back into a stacked batch tensor). */
+    void
+    PasteRows(const Tensor& src, int64_t start)
+    {
+        LLMNPU_CHECK_EQ(Rank(), 2);
+        LLMNPU_CHECK_EQ(src.Rank(), 2);
+        LLMNPU_CHECK_EQ(src.Cols(), Cols());
+        LLMNPU_CHECK(src.dtype() == dtype_);
+        LLMNPU_CHECK_GE(start, 0);
+        LLMNPU_CHECK_LE(start + src.Rows(), Rows());
+        const size_t row_bytes = static_cast<size_t>(Cols()) *
+                                 DTypeSize(dtype_);
+        if (src.Rows() > 0 && row_bytes > 0) {
+            std::memcpy(data_.data() +
+                            static_cast<size_t>(start) * row_bytes,
+                        src.data_.data(),
+                        static_cast<size_t>(src.Rows()) * row_bytes);
+        }
     }
 
     /** Returns a reshaped deep-copy sharing no storage. */
@@ -169,7 +197,9 @@ class Tensor
     {
         Tensor out(std::move(new_shape), dtype_);
         LLMNPU_CHECK_EQ(out.NumElements(), NumElements());
-        std::memcpy(out.data_.data(), data_.data(), data_.size());
+        if (!data_.empty()) {
+            std::memcpy(out.data_.data(), data_.data(), data_.size());
+        }
         return out;
     }
 

@@ -160,6 +160,7 @@ TEST(WeightsTest, LinearAccessorCoversAllKinds)
 
 TEST(KvCacheTest, AppendAndReadBack)
 {
+    // Chunks go to every layer in turn (Append enforces layer lockstep).
     KvCache cache(2, 8);
     Tensor k = Tensor::Full({3, 8}, 1.0f);
     Tensor v = Tensor::Full({3, 8}, 2.0f);
@@ -168,9 +169,12 @@ TEST(KvCacheTest, AppendAndReadBack)
     EXPECT_EQ(cache.SeqLen(1), 0);
     EXPECT_EQ(cache.Keys(0).At(2, 7), 1.0f);
     EXPECT_EQ(cache.Values(0).At(0, 0), 2.0f);
+    cache.Append(1, k, v);
     cache.Append(0, k, v);
+    cache.Append(1, k, v);
     EXPECT_EQ(cache.SeqLen(0), 6);
-    EXPECT_EQ(cache.SizeBytes(), 2 * 6 * 8 * 4);
+    EXPECT_EQ(cache.SeqLen(1), 6);
+    EXPECT_EQ(cache.SizeBytes(), 2 * 2 * 6 * 8 * 4);
 }
 
 class TransformerChunkTest : public ::testing::TestWithParam<int>
