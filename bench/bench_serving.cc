@@ -22,22 +22,29 @@
 namespace llmnpu {
 namespace {
 
+/** One METRIC row; `decode_placement` and `max_decode_batch` must be the
+ *  values the run actually used (engine placement / options batch cap). */
 void
 EmitMetric(const char* mode, SchedPolicy policy, double load_rps,
-           double offered_ratio, const ServingReport& report)
+           double offered_ratio, const ServingReport& report,
+           const std::string& decode_placement, int max_decode_batch)
 {
     std::printf(
         "METRIC {\"bench\": \"serving\", \"mode\": \"%s\", "
-        "\"policy\": \"%s\", \"load_rps\": %.3f, "
+        "\"policy\": \"%s\", \"decode_placement\": \"%s\", "
+        "\"max_decode_batch\": %d, \"load_rps\": %.3f, "
         "\"offered_ratio\": %.2f, \"throughput_rps\": %.3f, "
         "\"goodput_rps\": %.3f, \"slo_attainment\": %.3f, "
+        "\"decode_tokens_per_sec\": %.3f, \"tpot_mean_ms\": %.2f, "
         "\"ttft_p50_ms\": %.1f, \"ttft_p99_ms\": %.1f, "
         "\"e2e_p99_ms\": %.1f, \"npu_utilization\": %.3f, "
         "\"preemptions\": %d}\n",
-        mode, PolicyName(policy).c_str(), load_rps, offered_ratio,
-        report.throughput_rps, report.goodput_rps, report.slo_attainment,
-        report.ttft_p50_ms, report.ttft_p99_ms, report.e2e_p99_ms,
-        report.npu_utilization, report.preemptions);
+        mode, PolicyName(policy).c_str(), decode_placement.c_str(),
+        max_decode_batch, load_rps,
+        offered_ratio, report.throughput_rps, report.goodput_rps,
+        report.slo_attainment, report.decode_tokens_per_sec,
+        report.tpot_mean_ms, report.ttft_p50_ms, report.ttft_p99_ms,
+        report.e2e_p99_ms, report.npu_utilization, report.preemptions);
 }
 
 void
@@ -100,10 +107,92 @@ Run()
                           HumanMs(report.e2e_p99_ms),
                           StrFormat("%.0f%%", report.npu_utilization * 100),
                           StrFormat("%d", report.preemptions)});
-            EmitMetric("open", policy, rate, ratio, report);
+            EmitMetric("open", policy, rate, ratio, report,
+                       DecodePlacementName(
+                           engine.options().decode_placement),
+                       options.max_decode_batch);
         }
     }
     table.Print();
+
+    // Step-level decode economics: per-token cost of one continuously
+    // batched decode step at depth B, CPU float path vs NPU decode graph.
+    // NPU decode pays a slower weight stream (~11.3 vs ~22 GB/s) but an
+    // engine-derived near-zero batching marginal (one stream serves all B
+    // rows), so the CPU wins at shallow batches and the NPU wins once the
+    // batch is deep enough — the crossover this table locates.
+    {
+        std::printf("\nDecode step cost per token (Qwen1.5-1.8B, context "
+                    "512):\n");
+        LlmNpuOptions npu_options;
+        npu_options.decode_placement = DecodePlacement::kNpuQuant;
+        LlmNpuEngine npu_engine(npu_options);
+        const double cpu_token_ms =
+            costs.Costs({512, 1}).decode_token_ms;
+        const double cpu_marginal = ServingOptions().decode_batch_marginal;
+        Table step_table({"batch", "cpu ms/tok", "npu ms/tok", "winner"});
+        for (int batch : {1, 2, 4, 8, 16, 32}) {
+            const double cpu_tpot =
+                cpu_token_ms *
+                (1.0 + (batch - 1) * cpu_marginal) / batch;
+            const double npu_tpot =
+                npu_engine.NpuDecodeStep(config, soc, 512, batch)
+                    .TotalMs() /
+                batch;
+            step_table.AddRow({StrFormat("%d", batch),
+                               StrFormat("%.1f", cpu_tpot),
+                               StrFormat("%.1f", npu_tpot),
+                               cpu_tpot <= npu_tpot ? "cpu" : "npu"});
+            std::printf("METRIC {\"bench\": \"serving\", "
+                        "\"mode\": \"decode_step\", \"batch\": %d, "
+                        "\"cpu_tpot_ms\": %.2f, \"npu_tpot_ms\": %.2f}\n",
+                        batch, cpu_tpot, npu_tpot);
+        }
+        step_table.Print();
+    }
+
+    // Decode placement x batch depth inside the full serving loop. At
+    // these loads the machine is prefill-bound, so the decode pool stays
+    // shallow and the CPU placement wins end-to-end (deeper max B barely
+    // moves either placement); the table pins that the placement knob
+    // composes with the serving loop, while the step-cost table above
+    // shows the regime where NPU decode pays off.
+    std::printf("\nDecode placement x batch depth (fcfs, load %.1fx "
+                "capacity):\n",
+                smoke ? 1.5 : 1.2);
+    Table placement_table({"decode", "max B", "req/s", "tok/s", "tpot mean",
+                           "ttft p99", "e2e p99", "preempt"});
+    const std::vector<int> batch_depths =
+        smoke ? std::vector<int>{8, 32} : std::vector<int>{4, 8, 32};
+    for (DecodePlacement placement :
+         {DecodePlacement::kCpuFloat, DecodePlacement::kNpuQuant}) {
+        LlmNpuOptions engine_options;
+        engine_options.decode_placement = placement;
+        LlmNpuEngine placed_engine(engine_options);
+        ServingCostModel placed_costs(placed_engine, config, soc);
+        for (int depth : batch_depths) {
+            ServingOptions options;
+            options.policy = SchedPolicy::kFcfs;
+            options.rate_rps = (smoke ? 1.5 : 1.2) * capacity_rps;
+            options.num_requests = num_requests;
+            options.seed = 2026;
+            options.max_decode_batch = depth;
+            ServingSimulator sim(placed_costs, mix, options);
+            const ServingReport report = sim.Run().Report();
+            placement_table.AddRow(
+                {DecodePlacementName(placement), StrFormat("%d", depth),
+                 StrFormat("%.2f", report.throughput_rps),
+                 StrFormat("%.1f", report.decode_tokens_per_sec),
+                 HumanMs(report.tpot_mean_ms), HumanMs(report.ttft_p99_ms),
+                 HumanMs(report.e2e_p99_ms),
+                 StrFormat("%d", report.preemptions)});
+            EmitMetric("decode_placement", options.policy, options.rate_rps,
+                       smoke ? 1.5 : 1.2, report,
+                       DecodePlacementName(placement),
+                       options.max_decode_batch);
+        }
+    }
+    placement_table.Print();
 
     // Closed loop: a fixed population of chatty clients (think time 500ms),
     // the latency-vs-concurrency view of the same machine.
@@ -119,7 +208,9 @@ Run()
     ServingSimulator closed_sim(costs, mix, closed);
     const ServingReport closed_report = closed_sim.Run().Report();
     std::printf("  %s\n", closed_report.Summary().c_str());
-    EmitMetric("closed", closed.policy, 0.0, 0.0, closed_report);
+    EmitMetric("closed", closed.policy, 0.0, 0.0, closed_report,
+               DecodePlacementName(engine.options().decode_placement),
+               closed.max_decode_batch);
 }
 
 }  // namespace

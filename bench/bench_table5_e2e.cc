@@ -20,6 +20,25 @@ Cell(const EngineResult& result)
                      result.prefill_ms / 1e3, result.decode_ms / 1e3);
 }
 
+/** Decode-placement METRIC row: where llm.npu decodes and how fast. The
+ *  values are simulator outputs (host-independent), so CI band-checks them
+ *  against the committed baseline (cmake/check_bench_metrics.cmake). */
+void
+EmitDecodePlacementMetric(const std::string& dataset,
+                          const std::string& model, const char* placement,
+                          const InferenceRequest& req,
+                          const EngineResult& result)
+{
+    std::printf(
+        "METRIC {\"bench\": \"table5_e2e\", \"dataset\": \"%s\", "
+        "\"model\": \"%s\", \"decode_placement\": \"%s\", "
+        "\"decode_tokens_per_sec\": %.3f, \"prefill_ms\": %.2f, "
+        "\"decode_ms\": %.2f, \"e2e_ms\": %.2f}\n",
+        dataset.c_str(), model.c_str(), placement,
+        result.DecodeTokensPerSec(req.output_len), result.prefill_ms,
+        result.decode_ms, result.EndToEndMs());
+}
+
 void
 Run()
 {
@@ -29,6 +48,10 @@ Run()
     const SocSpec soc = SocSpec::RedmiK70Pro();
     auto baselines = MakePaperBaselines();
     LlmNpuEngine ours;
+    LlmNpuOptions npu_decode_options;
+    npu_decode_options.decode_placement = DecodePlacement::kNpuQuant;
+    npu_decode_options.label = "llm.npu (NPU decode)";
+    LlmNpuEngine ours_npu_decode(npu_decode_options);
 
     for (const DatasetProfile& dataset : PaperDatasets()) {
         std::printf("\n-- %s (%s; prompt %d-%d, output %d-%d) --\n",
@@ -41,6 +64,11 @@ Run()
         for (const ModelConfig& config : PaperModels()) {
             const InferenceRequest req = dataset.Typical();
             const EngineResult our_result = ours.Run(config, soc, req);
+            EmitDecodePlacementMetric(dataset.name, config.name, "cpu", req,
+                                      our_result);
+            EmitDecodePlacementMetric(
+                dataset.name, config.name, "npu", req,
+                ours_npu_decode.Run(config, soc, req));
             std::vector<std::string> row = {config.name};
             // Paper column order: MLC, LCPP, MNN, PI, TFLite.
             const size_t order[] = {3, 0, 1, 4, 2};

@@ -27,6 +27,11 @@ foreach(needle
     "\"ttft_p50_ms\""
     "\"ttft_p99_ms\""
     "\"e2e_p99_ms\""
+    "\"mode\": \"decode_placement\""
+    "\"decode_placement\": \"npu\""
+    "\"decode_tokens_per_sec\""
+    "\"name\": \"bench_table5_e2e\""
+    "\"bench\": \"table5_e2e\""
     "\"name\": \"bench_kernels\""
     "\"bench\": \"kernels\""
     "\"kernel\": \"matmul_f32\""

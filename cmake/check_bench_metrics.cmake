@@ -1,10 +1,15 @@
-# Validates the kernel GFLOP/s METRIC rows of a freshly produced
-# BENCH_results.json against the committed baseline: every row must be
-# present with a positive throughput, and rows whose
-# (kernel, variant, m, k, n, threads) key also exists in the baseline must
-# sit within a generous BAND-x band of it (CI hosts vary a lot; the band
-# catches order-of-magnitude regressions — dropped SIMD flags, accidental
-# naive fallbacks — not noise). Run by CI after the bench-smoke step:
+# Validates the kernel GFLOP/s METRIC rows and the table5 decode-placement
+# tokens/sec rows of a freshly produced BENCH_results.json against the
+# committed baseline: every row must be present with a positive value, and
+# rows whose key also exists in the baseline must sit within a generous
+# BAND-x band of it. Kernel keys are (kernel, variant, m, k, n, threads)
+# (CI hosts vary a lot; the band catches order-of-magnitude regressions —
+# dropped SIMD flags, accidental naive fallbacks — not noise); decode keys
+# are (dataset, model, decode_placement) and the values are deterministic
+# simulator outputs, so they get their own much tighter DECODE_BAND
+# (default 1.02x — any real cost-model drift fails; update the committed
+# baseline when a PR intentionally changes decode costs).
+# Run by CI after the bench-smoke step:
 #
 #   cmake -DRESULTS=<fresh.json> -DBASELINE=<committed.json> -DBAND=5.0 \
 #         -P cmake/check_bench_metrics.cmake
@@ -20,6 +25,9 @@ if(NOT DEFINED RESULTS OR NOT DEFINED BASELINE)
 endif()
 if(NOT DEFINED BAND)
   set(BAND 5.0)
+endif()
+if(NOT DEFINED DECODE_BAND)
+  set(DECODE_BAND 1.02)
 endif()
 
 # CMake's math() is integer-only: parse a non-negative decimal into
@@ -87,51 +95,106 @@ function(collect_kernel_metrics json_path out_var)
   set(${out_var} "${pairs}" PARENT_SCOPE)
 endfunction()
 
-collect_kernel_metrics(${RESULTS} fresh)
-collect_kernel_metrics(${BASELINE} base)
-to_milli(${BAND} band_milli)
-
-set(matched 0)
-foreach(pair IN LISTS fresh)
-  string(REGEX MATCH "^([^=]+)=(.*)$" _ "${pair}")
-  set(key "${CMAKE_MATCH_1}")
-  set(gflops "${CMAKE_MATCH_2}")
-  foreach(bpair IN LISTS base)
-    string(REGEX MATCH "^([^=]+)=(.*)$" _ "${bpair}")
-    if(NOT CMAKE_MATCH_1 STREQUAL key)
+# Collects "dataset|model|placement=tokens_per_sec" pairs for the
+# bench_table5_e2e decode-placement rows of one results file.
+function(collect_decode_metrics json_path out_var)
+  file(READ ${json_path} content)
+  string(JSON num_benches LENGTH ${content} "benches")
+  set(pairs "")
+  math(EXPR last_bench "${num_benches} - 1")
+  foreach(b RANGE ${last_bench})
+    string(JSON bench_name GET ${content} "benches" ${b} "name")
+    if(NOT bench_name STREQUAL "bench_table5_e2e")
       continue()
     endif()
-    set(base_gflops "${CMAKE_MATCH_2}")
-    math(EXPR matched "${matched} + 1")
-    to_milli(${gflops} fresh_milli)
-    to_milli(${base_gflops} base_milli)
-    # Band check in milli-units: fresh*BAND >= base (not BAND-x slower)
-    # and fresh <= base*BAND (not BAND-x faster — a too-fast row usually
-    # means the measured workload silently shrank).
-    math(EXPR lhs "${fresh_milli} * ${band_milli}")
-    math(EXPR rhs "${base_milli} * 1000")
-    if(lhs LESS rhs)
+    string(JSON num_metrics ERROR_VARIABLE err
+           LENGTH ${content} "benches" ${b} "metrics")
+    if(err OR num_metrics EQUAL 0)
       message(FATAL_ERROR
-        "check_bench_metrics: ${key}: fresh ${gflops} GFLOP/s is more "
-        "than ${BAND}x slower than baseline ${base_gflops} GFLOP/s")
+        "check_bench_metrics: ${json_path} has no bench_table5_e2e metric "
+        "rows — the decode-placement METRIC output regressed")
     endif()
-    math(EXPR lhs "${fresh_milli} * 1000")
-    math(EXPR rhs "${base_milli} * ${band_milli}")
-    if(lhs GREATER rhs)
-      message(FATAL_ERROR
-        "check_bench_metrics: ${key}: fresh ${gflops} GFLOP/s is more "
-        "than ${BAND}x faster than baseline ${base_gflops} GFLOP/s "
-        "(workload shrank?)")
-    endif()
+    math(EXPR last_metric "${num_metrics} - 1")
+    foreach(i RANGE ${last_metric})
+      set(prefix "benches" ${b} "metrics" ${i})
+      string(JSON dataset GET ${content} ${prefix} "dataset")
+      string(JSON model GET ${content} ${prefix} "model")
+      string(JSON placement GET ${content} ${prefix} "decode_placement")
+      string(JSON tps GET ${content} ${prefix} "decode_tokens_per_sec")
+      if(NOT tps GREATER 0)
+        message(FATAL_ERROR
+          "check_bench_metrics: ${json_path}: ${dataset}/${model}/"
+          "${placement} has non-positive decode_tokens_per_sec=${tps}")
+      endif()
+      list(APPEND pairs "${dataset}|${model}|${placement}=${tps}")
+    endforeach()
   endforeach()
-endforeach()
+  if(pairs STREQUAL "")
+    message(FATAL_ERROR
+      "check_bench_metrics: ${json_path} has no bench_table5_e2e entry")
+  endif()
+  set(${out_var} "${pairs}" PARENT_SCOPE)
+endfunction()
 
-if(matched EQUAL 0)
-  message(FATAL_ERROR
-    "check_bench_metrics: no (kernel, variant, shape, threads) key of "
-    "${RESULTS} matches the baseline ${BASELINE} — the metric key "
-    "schema drifted; update the committed baseline")
-endif()
+# Band-checks every fresh "key=value" pair whose key exists in the baseline
+# list against `band` (e.g. 5.0 = within 5x either way); fails if none
+# match or any value strays outside the band.
+function(band_check_pairs fresh_list base_list unit_label band)
+  to_milli(${band} band_milli)
+  set(matched 0)
+  foreach(pair IN LISTS fresh_list)
+    string(REGEX MATCH "^([^=]+)=(.*)$" _ "${pair}")
+    set(key "${CMAKE_MATCH_1}")
+    set(value "${CMAKE_MATCH_2}")
+    foreach(bpair IN LISTS base_list)
+      string(REGEX MATCH "^([^=]+)=(.*)$" _ "${bpair}")
+      if(NOT CMAKE_MATCH_1 STREQUAL key)
+        continue()
+      endif()
+      set(base_value "${CMAKE_MATCH_2}")
+      math(EXPR matched "${matched} + 1")
+      to_milli(${value} fresh_milli)
+      to_milli(${base_value} base_milli)
+      # Band check in milli-units: fresh*BAND >= base (not BAND-x slower)
+      # and fresh <= base*BAND (not BAND-x faster — a too-fast row usually
+      # means the measured workload silently shrank).
+      math(EXPR lhs "${fresh_milli} * ${band_milli}")
+      math(EXPR rhs "${base_milli} * 1000")
+      if(lhs LESS rhs)
+        message(FATAL_ERROR
+          "check_bench_metrics: ${key}: fresh ${value} ${unit_label} is "
+          "more than ${band}x slower than baseline ${base_value}")
+      endif()
+      math(EXPR lhs "${fresh_milli} * 1000")
+      math(EXPR rhs "${base_milli} * ${band_milli}")
+      if(lhs GREATER rhs)
+        message(FATAL_ERROR
+          "check_bench_metrics: ${key}: fresh ${value} ${unit_label} is "
+          "more than ${band}x faster than baseline ${base_value} "
+          "(workload shrank?)")
+      endif()
+    endforeach()
+  endforeach()
+  if(matched EQUAL 0)
+    message(FATAL_ERROR
+      "check_bench_metrics: no ${unit_label} key of the fresh results "
+      "matches the committed baseline — the metric key schema drifted; "
+      "update the committed baseline")
+  endif()
+  set(band_matched ${matched} PARENT_SCOPE)
+endfunction()
+
+collect_kernel_metrics(${RESULTS} fresh)
+collect_kernel_metrics(${BASELINE} base)
+band_check_pairs("${fresh}" "${base}" "GFLOP/s" ${BAND})
+set(kernel_matched ${band_matched})
+
+collect_decode_metrics(${RESULTS} fresh_decode)
+collect_decode_metrics(${BASELINE} base_decode)
+band_check_pairs("${fresh_decode}" "${base_decode}" "decode-tokens/s"
+                 ${DECODE_BAND})
+
 message(STATUS
-  "check_bench_metrics: ${matched} kernel metric rows within ${BAND}x "
-  "of the committed baseline")
+  "check_bench_metrics: ${kernel_matched} kernel rows within ${BAND}x and "
+  "${band_matched} decode-placement rows within ${DECODE_BAND}x of the "
+  "committed baseline")

@@ -23,6 +23,25 @@ LlmNpuEngine::LlmNpuEngine(LlmNpuOptions options) : options_(options)
     LLMNPU_CHECK_LE(options_.pruning_rate, 1.0);
 }
 
+double
+LlmNpuEngine::ShadowCompensationMs(const ProcessorModel& fproc, int64_t m,
+                                   int64_t k, int64_t n) const
+{
+    // Scan the activations, run the compact float matmul, synchronize the
+    // partial sum back (§3.3). Cold channels fetched from disk overlap the
+    // NPU matmul; charge only the miss-rate-weighted latency.
+    const int64_t k_out = std::max<int64_t>(
+        1, static_cast<int64_t>(std::lround(options_.runtime_outlier_frac *
+                                            static_cast<double>(k))));
+    double ms = fproc.VectorOpMs(static_cast<double>(m * k), 1.0);
+    ms += fproc.MatMulMs({m, k_out, n}, ExecFormat::kFp32, 0, false);
+    ms += options_.cold_miss_rate *
+          (cal::kDiskLatencyMs +
+           static_cast<double>(k_out * n) / (cal::kDiskReadGBs * 1e9) * 1e3);
+    ms += cal::kShadowSyncMs;
+    return ms;
+}
+
 int
 LlmNpuEngine::KeptShadowLinears(const ModelConfig& config) const
 {
@@ -74,23 +93,9 @@ LlmNpuEngine::ChunkStageTimings(const ModelConfig& config, const SocSpec& soc,
                                    ? ExecFormat::kInt8PerTensor
                                    : ExecFormat::kInt8PerGroup;
 
-    // Shadow compensation task pieces (per NPU linear stage): scan the
-    // activations, run the compact float matmul, synchronize the partial
-    // sum back (§3.3).
+    // Shadow compensation task pieces (per NPU linear stage).
     auto shadow_ms = [&](int64_t k, int64_t n) {
-        const int64_t k_out = std::max<int64_t>(
-            1, static_cast<int64_t>(std::lround(
-                   options_.runtime_outlier_frac * static_cast<double>(k))));
-        double ms = fproc.VectorOpMs(static_cast<double>(m * k), 1.0);
-        ms += fproc.MatMulMs({m, k_out, n}, ExecFormat::kFp32, 0, false);
-        // Cold channels fetched from disk overlap the NPU matmul; charge
-        // only the miss-rate-weighted latency.
-        ms += options_.cold_miss_rate *
-              (cal::kDiskLatencyMs +
-               static_cast<double>(k_out * n) / (cal::kDiskReadGBs * 1e9) *
-                   1e3);
-        ms += cal::kShadowSyncMs;
-        return ms;
+        return ShadowCompensationMs(fproc, m, k, n);
     };
 
     std::vector<StageTiming> timings(
@@ -167,6 +172,54 @@ LlmNpuEngine::ChunkStageTimings(const ModelConfig& config, const SocSpec& soc,
         }
     }
     return timings;
+}
+
+LlmNpuEngine::NpuDecodeStepCosts
+LlmNpuEngine::NpuDecodeStep(const ModelConfig& config, const SocSpec& soc,
+                            int64_t kv_len, int batch) const
+{
+    LLMNPU_CHECK_GT(batch, 0);
+    const Unit float_unit =
+        options_.use_gpu_float ? Unit::kGpu : Unit::kCpu;
+    const ProcessorModel& fproc = soc.Processor(float_unit);
+    const ProcessorModel& npu = soc.Processor(Unit::kNpu);
+    const ExecFormat npu_fmt = options_.enable_shadow
+                                   ? ExecFormat::kInt8PerTensor
+                                   : ExecFormat::kInt8PerGroup;
+    const int64_t m = batch;
+
+    NpuDecodeStepCosts costs;
+    for (int l = 0; l < config.num_layers; ++l) {
+        const bool shadow_on = options_.enable_shadow &&
+                               options_.pruning_rate < 1.0 &&
+                               LayerShadowEnabled(config, l);
+        for (const auto& spec : config.LayerLinears()) {
+            costs.npu_matvec_ms +=
+                npu.MatMulMs({m, spec.k, spec.n}, npu_fmt,
+                             cal::kPerGroupSize, options_.square_optimized);
+            // Ops run inside the prebuilt decode graph: per-op overhead,
+            // not a per-linear QNN execute call.
+            costs.npu_dispatch_ms += cal::kNpuOpDispatchMs;
+            if (shadow_on) {
+                costs.shadow_ms +=
+                    ShadowCompensationMs(fproc, m, spec.k, spec.n);
+            }
+        }
+        // Norms/RoPE/attention/residuals + boundary quantize/dequantize on
+        // the float processor; one shared-buffer round trip per layer.
+        costs.float_ms += BlockFloatOpsMs(config, fproc, m, kv_len);
+        costs.handoff_ms += cal::kNpuDecodeHandoffMs;
+    }
+    // One prebuilt decode-graph invoke per step (graphs are built per
+    // batch bucket at preparation time, like the prefill chunk graphs).
+    costs.npu_dispatch_ms += npu.DispatchMs();
+    // Final norm + lm-head stay on the float side of the boundary (the
+    // numeric plane's Logits runs there too), priced at the decode format.
+    costs.float_ms +=
+        fproc.VectorOpMs(static_cast<double>(m * config.hidden_size), 8.0) +
+        fproc.MatMulMs({m, config.hidden_size, config.vocab_size},
+                       ExecFormat::kInt8PerTensor, 0, false);
+    return costs;
 }
 
 LlmNpuEngine::PrefillDetail
@@ -278,24 +331,50 @@ LlmNpuEngine::ServingCosts(const ModelConfig& config, const SocSpec& soc,
             detail.prefill_ms * work[static_cast<size_t>(c)] / total_work;
     }
 
+    // Per-placement interference factors (see the engine.h contract).
     // While a chunk is in flight, its float stages and shadow kernels hold
-    // this busy fraction of the CPU/GPU, which a concurrent decode shares.
+    // the float-processor fraction a CPU/GPU-resident decode shares, and
+    // its NPU subgraphs hold the accelerator fraction an NPU-resident
+    // decode would time-slice.
     const Unit float_unit = options_.use_gpu_float ? Unit::kGpu : Unit::kCpu;
     const double makespan = detail.timeline.makespan_ms;
-    profile.prefill_decode_interference =
-        makespan > 0.0
-            ? std::min(0.95, detail.timeline.busy_ms[static_cast<size_t>(
-                                 float_unit)] /
-                                 makespan)
-            : 0.0;
+    auto busy_fraction = [&](Unit unit) {
+        return makespan > 0.0
+                   ? std::min(0.95,
+                              detail.timeline.busy_ms[static_cast<size_t>(
+                                  unit)] /
+                                  makespan)
+                   : 0.0;
+    };
+    profile.float_decode_interference = busy_fraction(float_unit);
+    profile.npu_decode_interference = busy_fraction(Unit::kNpu);
+    profile.decode_placement = options_.decode_placement;
 
-    const ProcessorModel& dproc = soc.Processor(float_unit);
-    ExecPolicy decode_policy;
-    decode_policy.linear_format = ExecFormat::kInt8PerTensor;
-    profile.decode_token_ms =
-        DecodeMs(config, dproc, request.prompt_len, request.output_len,
-                 decode_policy) /
-        std::max(1, request.output_len);
+    if (options_.decode_placement == DecodePlacement::kNpuQuant) {
+        double decode_ms = 0.0;
+        for (int t = 0; t < request.output_len; ++t) {
+            decode_ms +=
+                NpuDecodeStep(config, soc, request.prompt_len + t, 1)
+                    .TotalMs();
+        }
+        profile.decode_token_ms =
+            decode_ms / std::max(1, request.output_len);
+        // The M=B decode matmul shares one weight stream across rows, so
+        // the engine knows its own (small) batching marginal.
+        const double b1 =
+            NpuDecodeStep(config, soc, request.prompt_len, 1).TotalMs();
+        const double b2 =
+            NpuDecodeStep(config, soc, request.prompt_len, 2).TotalMs();
+        profile.decode_batch_marginal = std::max(0.0, b2 / b1 - 1.0);
+    } else {
+        const ProcessorModel& dproc = soc.Processor(float_unit);
+        ExecPolicy decode_policy;
+        decode_policy.linear_format = ExecFormat::kInt8PerTensor;
+        profile.decode_token_ms =
+            DecodeMs(config, dproc, request.prompt_len, request.output_len,
+                     decode_policy) /
+            std::max(1, request.output_len);
+    }
     return profile;
 }
 
@@ -315,16 +394,29 @@ LlmNpuEngine::Run(const ModelConfig& config, const SocSpec& soc,
         soc.EnergyMj(detail.timeline.busy_ms, detail.timeline.makespan_ms,
                      cal::kCpuServicePowerW);
 
-    // Decode on the MLLM CPU backend (or GPU under §4.6 coordination).
+    // Decode on the MLLM CPU backend (or GPU under §4.6 coordination), or
+    // the NPU decode graphs when the placement asks for them.
     const Unit decode_unit =
         options_.use_gpu_float ? Unit::kGpu : Unit::kCpu;
-    const ProcessorModel& dproc = soc.Processor(decode_unit);
-    ExecPolicy decode_policy;
-    decode_policy.linear_format = ExecFormat::kInt8PerTensor;
-    result.decode_ms = DecodeMs(config, dproc, request.prompt_len,
-                                request.output_len, decode_policy);
     std::array<double, kNumUnits> decode_busy{};
-    decode_busy[static_cast<size_t>(decode_unit)] = result.decode_ms;
+    if (options_.decode_placement == DecodePlacement::kNpuQuant) {
+        for (int t = 0; t < request.output_len; ++t) {
+            const NpuDecodeStepCosts step =
+                NpuDecodeStep(config, soc, request.prompt_len + t, 1);
+            result.decode_ms += step.TotalMs();
+            decode_busy[static_cast<size_t>(Unit::kNpu)] +=
+                step.npu_matvec_ms + step.npu_dispatch_ms;
+            decode_busy[static_cast<size_t>(decode_unit)] +=
+                step.float_ms + step.handoff_ms + step.shadow_ms;
+        }
+    } else {
+        const ProcessorModel& dproc = soc.Processor(decode_unit);
+        ExecPolicy decode_policy;
+        decode_policy.linear_format = ExecFormat::kInt8PerTensor;
+        result.decode_ms = DecodeMs(config, dproc, request.prompt_len,
+                                    request.output_len, decode_policy);
+        decode_busy[static_cast<size_t>(decode_unit)] = result.decode_ms;
+    }
     result.decode_energy_mj = soc.EnergyMj(decode_busy, result.decode_ms);
     return result;
 }

@@ -39,6 +39,11 @@ struct LlmNpuOptions {
     double pruning_rate = 0.85;
     /** Run float subgraphs + decode on the GPU instead of the CPU (§4.6). */
     bool use_gpu_float = false;
+    /** Where decode-step linears run: the CPU/GPU float processor (paper
+     *  deployment, default) or the NPU via prebuilt M=B W8A8 decode graphs
+     *  with shadow compensation and an explicit handoff boundary (the
+     *  beyond-paper mode this reproduction adds; see NpuDecodeStep). */
+    DecodePlacement decode_placement = DecodePlacement::kCpuFloat;
     /** §4 optimization (1): profile equivalent square input shapes. */
     bool square_optimized = true;
     /** Mean fraction of input channels shadow-extracted per linear call
@@ -90,7 +95,46 @@ class LlmNpuEngine : public InferenceEngine
                                                int chunk_len, int64_t kv_len,
                                                double swap_ms_per_chunk) const;
 
+    /**
+     * Cost decomposition of one NPU-resident decode step: B sequences'
+     * decode matvecs run as one M=B W8A8 matmul per linear through the
+     * prebuilt decode graph, while norms/RoPE/attention stay on the float
+     * processor and quantize/dequantize cross the handoff boundary once
+     * per layer. The graph is prebuilt per batch bucket (like the prefill
+     * chunk graphs), so dispatch is one graph invoke per step plus per-op
+     * overhead — not a per-linear QNN execute call.
+     */
+    struct NpuDecodeStepCosts {
+        double npu_matvec_ms = 0.0;   ///< W8A8 matvecs on the NPU
+        double npu_dispatch_ms = 0.0; ///< graph invoke + per-op dispatch
+        double float_ms = 0.0;        ///< norms/RoPE/attention/lm-head
+        double handoff_ms = 0.0;      ///< boundary quant/dequant + sync
+        double shadow_ms = 0.0;       ///< outlier compensation (float proc)
+
+        double TotalMs() const
+        {
+            return npu_matvec_ms + npu_dispatch_ms + float_ms + handoff_ms +
+                   shadow_ms;
+        }
+    };
+
+    /** Prices one NPU decode step at context `kv_len` for `batch` rows.
+     *  Per-token TPOT is TotalMs() / batch: the weight stream per step is
+     *  shared across rows, so TPOT is non-increasing in the batch size
+     *  (asserted by tests/property_test.cc). */
+    NpuDecodeStepCosts NpuDecodeStep(const ModelConfig& config,
+                                     const SocSpec& soc, int64_t kv_len,
+                                     int batch) const;
+
   private:
+    /** Shadow compensation cost of one NPU linear over M rows (§3.3):
+     *  activation scan, compact float matmul over the extracted channels,
+     *  miss-rate-weighted cold fetch, partial-sum sync. Shared by the
+     *  prefill chunk path and the NPU decode path so the two planes can
+     *  never drift apart. */
+    double ShadowCompensationMs(const ProcessorModel& fproc, int64_t m,
+                                int64_t k, int64_t n) const;
+
     /** Shadow-enabled linear count given the pruning rate. */
     int KeptShadowLinears(const ModelConfig& config) const;
 

@@ -12,9 +12,13 @@ InferenceEngine::ServingCosts(const ModelConfig& config, const SocSpec& soc,
     ServingCostProfile profile;
     profile.prepare_ms = result.prepare_ms;
     profile.chunk_ms = {result.prefill_ms};
-    // Single-processor engines run prefill and decode on the same unit:
-    // a prefill in flight leaves nothing for concurrent decode.
-    profile.prefill_decode_interference = 1.0;
+    // Single-processor engines run prefill and decode on the same unit: a
+    // prefill in flight leaves nothing for concurrent decode wherever that
+    // decode nominally sits, so both placement factors are fully blocked
+    // and decode stays on the float processor.
+    profile.float_decode_interference = 1.0;
+    profile.npu_decode_interference = 1.0;
+    profile.decode_placement = DecodePlacement::kCpuFloat;
     profile.decode_token_ms =
         result.decode_ms / std::max(1, request.output_len);
     profile.memory_bytes = result.memory_bytes;

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/model/config.h"
+#include "src/model/placement.h"
 #include "src/sim/soc.h"
 
 namespace llmnpu {
@@ -82,14 +83,41 @@ struct ServingCostProfile {
     /** Accelerator occupancy of each prefill chunk, in execution order.
      *  Single-processor engines expose one monolithic chunk. */
     std::vector<double> chunk_ms;
-    /** Fraction of the decode processor consumed while a prefill chunk is
-     *  in flight (float stages + shadow compensation); concurrent decode
-     *  slows by 1 / (1 - this). The serving simulator floors the residual
-     *  decode rate at 5%, so 1.0 (single-processor engines) means decode
-     *  is effectively blocked — a 20x slowdown — not an exact stall. */
-    double prefill_decode_interference = 1.0;
-    /** Per-token decode service time at the request's context length. */
+
+    /**
+     * Prefill/decode interference contract. While a prefill chunk is in
+     * flight, concurrent decode is slowed by 1 / (1 - interference), where
+     * which interference factor applies depends on where decode runs:
+     *
+     *  - `float_decode_interference`: decode on the CPU/GPU float
+     *    processor (the paper's deployment). The chunk's float stages and
+     *    shadow compensation hold this busy fraction of the float
+     *    processor; decode shares the remainder.
+     *  - `npu_decode_interference`: decode on the NPU itself. The chunk
+     *    occupies the accelerator, so an NPU-resident decode step
+     *    time-slices the NPU with the chunk; the factor is the chunk's NPU
+     *    busy fraction (near 1 minus scheduling bubbles).
+     *
+     * `decode_placement` names the placement `decode_token_ms` was priced
+     * at; DecodeInterference() resolves the matching factor. The serving
+     * simulator floors the residual decode rate at 5%, so 1.0 (the
+     * single-processor default: prefill and decode share one unit) means
+     * decode is effectively blocked — a 20x slowdown — not an exact stall.
+     */
+    double float_decode_interference = 1.0;
+    double npu_decode_interference = 1.0;
+    DecodePlacement decode_placement = DecodePlacement::kCpuFloat;
+
+    /** Per-token decode service time at the request's context length,
+     *  priced at `decode_placement`. */
     double decode_token_ms = 0.0;
+    /** Marginal cost of each extra batched decode stream relative to the
+     *  first (step time = decode_token_ms * (1 + (B-1) * marginal)).
+     *  Negative means "engine has no opinion" — the serving layer falls
+     *  back to its configured default. NPU-resident decode exposes a much
+     *  smaller marginal than CPU decode: the weight stream per step is
+     *  shared across the M=B matvec rows. */
+    double decode_batch_marginal = -1.0;
     int64_t memory_bytes = 0;
 
     double PrefillMs() const
@@ -97,6 +125,14 @@ struct ServingCostProfile {
         double total = 0.0;
         for (double ms : chunk_ms) total += ms;
         return total;
+    }
+
+    /** The interference factor matching `decode_placement`. */
+    double DecodeInterference() const
+    {
+        return decode_placement == DecodePlacement::kNpuQuant
+                   ? npu_decode_interference
+                   : float_decode_interference;
     }
 };
 

@@ -1,0 +1,123 @@
+#include "src/model/decode_backend.h"
+
+#include "src/util/check.h"
+
+namespace llmnpu {
+
+DecodeBackend::DecodeBackend(LinearExecutor& cpu_float,
+                             LinearExecutor& npu_quant)
+    : cpu_float_(cpu_float), npu_quant_(npu_quant)
+{}
+
+void
+DecodeBackend::SetUniformPlacement(DecodePlacement placement)
+{
+    uniform_ = placement;
+    step_placements_.clear();
+}
+
+void
+DecodeBackend::SetStepPlacements(std::vector<DecodePlacement> placements)
+{
+    LLMNPU_CHECK(!placements.empty());
+    step_placements_ = std::move(placements);
+}
+
+DecodePlacement
+DecodeBackend::PlacementFor(size_t segment) const
+{
+    if (step_placements_.empty()) return uniform_;
+    LLMNPU_CHECK_LT(segment, step_placements_.size());
+    return step_placements_[segment];
+}
+
+std::string
+DecodeBackend::Name() const
+{
+    return "decode[" + cpu_float_.Name() + "|" + npu_quant_.Name() + "]";
+}
+
+Tensor
+DecodeBackend::Forward(int layer, LinearKind kind, const Tensor& x)
+{
+    const DecodePlacement placement = PlacementFor(0);
+    if (placement == DecodePlacement::kNpuQuant) {
+        ++stats_.npu_linear_calls;
+        ++stats_.handoffs;
+        stats_.quantized_elems += x.NumElements();
+        Tensor y = npu_quant_.Forward(layer, kind, x);
+        stats_.dequantized_elems += y.NumElements();
+        return y;
+    }
+    ++stats_.cpu_linear_calls;
+    return cpu_float_.Forward(layer, kind, x);
+}
+
+Tensor
+DecodeBackend::ForwardBatch(int layer, LinearKind kind, const Tensor& x,
+                            const BatchSegments& segments)
+{
+    CheckBatchSegments(x, segments);
+    const size_t num_segments = segments.size() - 1;
+    if (!step_placements_.empty()) {
+        LLMNPU_CHECK_EQ(step_placements_.size(), num_segments);
+    }
+
+    // Uniform fast path: the whole stack goes to one executor.
+    bool uniform = true;
+    for (size_t i = 1; i < num_segments; ++i) {
+        if (PlacementFor(i) != PlacementFor(0)) {
+            uniform = false;
+            break;
+        }
+    }
+    if (uniform) {
+        const DecodePlacement placement = PlacementFor(0);
+        if (placement == DecodePlacement::kNpuQuant) {
+            stats_.npu_linear_calls += static_cast<int64_t>(num_segments);
+            ++stats_.handoffs;
+            stats_.quantized_elems += x.NumElements();
+            Tensor y = npu_quant_.ForwardBatch(layer, kind, x, segments);
+            stats_.dequantized_elems += y.NumElements();
+            return y;
+        }
+        stats_.cpu_linear_calls += static_cast<int64_t>(num_segments);
+        return cpu_float_.ForwardBatch(layer, kind, x, segments);
+    }
+
+    // Mixed step: split into maximal contiguous same-placement runs, route
+    // each run's sub-stack through its executor's ForwardBatch (bitwise
+    // per-segment by both executors' contracts), scatter rows back.
+    Tensor out;
+    for (size_t first = 0; first < num_segments;) {
+        const DecodePlacement placement = PlacementFor(first);
+        size_t last = first + 1;
+        while (last < num_segments && PlacementFor(last) == placement) {
+            ++last;
+        }
+        const int64_t r0 = segments[first];
+        const int64_t rows = segments[last] - r0;
+        Tensor sub = x.CopyRows(r0, rows);
+        BatchSegments sub_segments(last - first + 1);
+        for (size_t i = first; i <= last; ++i) {
+            sub_segments[i - first] = segments[i] - r0;
+        }
+        Tensor y;
+        if (placement == DecodePlacement::kNpuQuant) {
+            stats_.npu_linear_calls += static_cast<int64_t>(last - first);
+            ++stats_.handoffs;
+            stats_.quantized_elems += sub.NumElements();
+            y = npu_quant_.ForwardBatch(layer, kind, sub, sub_segments);
+            stats_.dequantized_elems += y.NumElements();
+        } else {
+            stats_.cpu_linear_calls += static_cast<int64_t>(last - first);
+            y = cpu_float_.ForwardBatch(layer, kind, sub, sub_segments);
+        }
+        if (out.Rank() == 0) out = Tensor({x.Rows(), y.Cols()}, DType::kF32);
+        out.PasteRows(y, r0);
+        first = last;
+    }
+    return out;
+}
+
+}  // namespace llmnpu

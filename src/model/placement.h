@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Decode placement: which processor executes a step's linears. Split out
+ * of decode_backend.h so the cost-model plane (src/engines, src/serving)
+ * can name a placement without pulling in the numeric-plane transformer
+ * and tensor headers.
+ */
+#ifndef LLMNPU_MODEL_PLACEMENT_H
+#define LLMNPU_MODEL_PLACEMENT_H
+
+#include <cstdint>
+#include <string>
+
+namespace llmnpu {
+
+/** Where a step's linears execute. */
+enum class DecodePlacement : uint8_t {
+    kCpuFloat = 0,  ///< packed fp32 matmuls on the CPU/GPU float processor
+    kNpuQuant = 1,  ///< W8A8 NPU term + per-sequence shadow outliers
+};
+
+/** Short name ("cpu" / "npu") for reports and METRIC rows. */
+inline std::string
+DecodePlacementName(DecodePlacement placement)
+{
+    return placement == DecodePlacement::kNpuQuant ? "npu" : "cpu";
+}
+
+}  // namespace llmnpu
+
+#endif  // LLMNPU_MODEL_PLACEMENT_H

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "src/model/decode_backend.h"
 #include "src/tensor/matmul.h"
 #include "src/tensor/ops.h"
 
@@ -251,6 +252,17 @@ Transformer::ForwardBatch(const std::vector<BatchSeq>& batch,
                               linears);
     }
     return Normed(x, weights_.final_norm_gamma, weights_.final_norm_beta);
+}
+
+Tensor
+Transformer::ForwardBatchPlaced(const std::vector<BatchSeq>& batch,
+                                const std::vector<DecodePlacement>& placements,
+                                BatchedKvCache& cache,
+                                DecodeBackend& backend) const
+{
+    LLMNPU_CHECK_EQ(placements.size(), batch.size());
+    backend.SetStepPlacements(placements);
+    return ForwardBatch(batch, cache, backend);
 }
 
 Tensor

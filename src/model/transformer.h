@@ -18,10 +18,13 @@
 
 #include "src/model/batched_kv_cache.h"
 #include "src/model/kv_cache.h"
+#include "src/model/placement.h"
 #include "src/model/weights.h"
 #include "src/tensor/tensor.h"
 
 namespace llmnpu {
+
+class DecodeBackend;
 
 /**
  * Segment boundaries of a stacked batch activation: rows
@@ -152,6 +155,22 @@ class Transformer
     Tensor ForwardBatch(const std::vector<BatchSeq>& batch,
                         BatchedKvCache& cache,
                         LinearExecutor& linears) const;
+
+    /**
+     * ForwardBatch with per-sequence placement routing: sequence i's
+     * linears execute on `placements[i]` (the NPU W8A8 shadow path or the
+     * CPU float path) via `backend` (src/model/decode_backend.h). Norms,
+     * RoPE and attention stay on the CPU float path either way — that is
+     * the CPU/NPU handoff boundary. Placement size must equal batch size.
+     *
+     * Inherits the batch-exactness contract: segment i is bitwise
+     * identical to running sequence i alone through an executor of the
+     * same placement.
+     */
+    Tensor ForwardBatchPlaced(const std::vector<BatchSeq>& batch,
+                              const std::vector<DecodePlacement>& placements,
+                              BatchedKvCache& cache,
+                              DecodeBackend& backend) const;
 
     /** Logits from hidden states via the tied embedding: [seq x vocab]. */
     Tensor Logits(const Tensor& hidden) const;

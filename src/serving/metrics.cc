@@ -17,7 +17,9 @@ BuildReport(const std::vector<RequestRecord>& records, double makespan_ms,
     std::vector<double> ttft, e2e;
     RunningStat tpot, queueing;
     int met_slo = 0;
+    int64_t tokens_out = 0;
     for (const RequestRecord& record : records) {
+        tokens_out += record.tokens_out;
         if (!record.Completed()) continue;
         ++report.completed;
         ttft.push_back(record.TtftMs());
@@ -41,6 +43,8 @@ BuildReport(const std::vector<RequestRecord>& records, double makespan_ms,
         report.queueing_mean_ms = queueing.mean();
         report.npu_utilization = npu_busy_ms / makespan_ms;
         report.decode_utilization = decode_busy_ms / makespan_ms;
+        report.decode_tokens_per_sec =
+            static_cast<double>(tokens_out) / (makespan_ms / 1e3);
     }
     return report;
 }

@@ -36,6 +36,10 @@ struct ServingReport {
     double tpot_mean_ms = 0.0;
     double queueing_mean_ms = 0.0;
 
+    /** Decode throughput: tokens emitted per second of makespan (the
+     *  decode-placement comparison metric of bench_serving). */
+    double decode_tokens_per_sec = 0.0;
+
     /** Accelerator (prefill) busy fraction of the makespan. */
     double npu_utilization = 0.0;
     /** Decode-processor busy fraction of the makespan. */

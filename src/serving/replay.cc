@@ -47,13 +47,17 @@ AppendRows(std::vector<float>& dst, const Tensor& t)
     dst.insert(dst.end(), p, p + t.NumElements());
 }
 
-}  // namespace
-
+/**
+ * Shared replay core. When `placement` is non-null, `linears` is the
+ * DecodeBackend `backend` and every step (batched and solo reference) sets
+ * per-member placements on it before forwarding.
+ */
 ReplayOutcome
-ReplayServingTrace(const std::vector<ReplayStep>& steps,
-                   const std::vector<RequestRecord>& records,
-                   const Transformer& model, LinearExecutor& linears,
-                   const ReplayOptions& options)
+ReplayTraceImpl(const std::vector<ReplayStep>& steps,
+                const std::vector<RequestRecord>& records,
+                const Transformer& model, LinearExecutor& linears,
+                const ReplayPlacement* placement, DecodeBackend* backend,
+                const ReplayOptions& options)
 {
     LLMNPU_CHECK_GT(options.max_prompt_tokens, 0);
     LLMNPU_CHECK_GT(options.max_output_tokens, 0);
@@ -134,6 +138,16 @@ ReplayServingTrace(const std::vector<ReplayStep>& steps,
                          static_cast<int>(batch.size()));
         }
 
+        if (placement != nullptr) {
+            std::vector<DecodePlacement> step_placements;
+            step_placements.reserve(member_ids.size());
+            for (int id : member_ids) {
+                step_placements.push_back(step.is_prefill
+                                              ? placement->prefill
+                                              : placement->DecodeFor(id));
+            }
+            backend->SetStepPlacements(std::move(step_placements));
+        }
         Tensor hidden = model.ForwardBatch(batch, cache, linears);
         Tensor logits = model.Logits(hidden);
         ++outcome.steps_executed;
@@ -165,6 +179,9 @@ ReplayServingTrace(const std::vector<ReplayStep>& steps,
         KvCache solo = model.MakeCache();
         std::vector<float> hidden_rows, logit_rows;
         for (int c = 0; c < state.chunks_done; ++c) {
+            if (placement != nullptr) {
+                backend->SetUniformPlacement(placement->prefill);
+            }
             Tensor h = model.Forward(
                 ChunkTokens(state.prompt, c, num_chunks.at(id)), solo,
                 linears);
@@ -172,6 +189,9 @@ ReplayServingTrace(const std::vector<ReplayStep>& steps,
             AppendRows(logit_rows, model.Logits(h));
         }
         for (int t = 0; t < state.tokens_decoded; ++t) {
+            if (placement != nullptr) {
+                backend->SetUniformPlacement(placement->DecodeFor(id));
+            }
             Tensor h = model.Forward(
                 {state.outputs[static_cast<size_t>(t)]}, solo, linears);
             AppendRows(hidden_rows, h);
@@ -195,6 +215,30 @@ ReplayServingTrace(const std::vector<ReplayStep>& steps,
         }
     }
     return outcome;
+}
+
+}  // namespace
+
+ReplayOutcome
+ReplayServingTrace(const std::vector<ReplayStep>& steps,
+                   const std::vector<RequestRecord>& records,
+                   const Transformer& model, LinearExecutor& linears,
+                   const ReplayOptions& options)
+{
+    return ReplayTraceImpl(steps, records, model, linears,
+                           /*placement=*/nullptr, /*backend=*/nullptr,
+                           options);
+}
+
+ReplayOutcome
+ReplayServingTrace(const std::vector<ReplayStep>& steps,
+                   const std::vector<RequestRecord>& records,
+                   const Transformer& model, DecodeBackend& backend,
+                   const ReplayPlacement& placement,
+                   const ReplayOptions& options)
+{
+    return ReplayTraceImpl(steps, records, model, backend, &placement,
+                           &backend, options);
 }
 
 }  // namespace llmnpu

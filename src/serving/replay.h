@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "src/model/decode_backend.h"
 #include "src/model/transformer.h"
 #include "src/serving/simulator.h"
 
@@ -60,6 +61,29 @@ struct ReplayOutcome {
 };
 
 /**
+ * Decode placement of a placement-aware replay: where each request's
+ * decode steps execute, and where prefill chunks execute. The bitwise
+ * reference of a placed replay is the solo run with the *same* placement —
+ * prefill chunks on `prefill`, decode steps on the request's placement.
+ */
+struct ReplayPlacement {
+    /** Placement of every prefill chunk (the paper's deployment prefills
+     *  on the NPU, so the quantized path is the default). */
+    DecodePlacement prefill = DecodePlacement::kNpuQuant;
+    /** Decode placement by request id; ids beyond the vector (or an empty
+     *  vector) fall back to `default_decode`. */
+    std::vector<DecodePlacement> decode;
+    DecodePlacement default_decode = DecodePlacement::kCpuFloat;
+
+    DecodePlacement DecodeFor(int request_id) const
+    {
+        return static_cast<size_t>(request_id) < decode.size()
+                   ? decode[static_cast<size_t>(request_id)]
+                   : default_decode;
+    }
+};
+
+/**
  * Replays `steps` (from a ServingResult) through `model` with `linears`.
  *
  * @param steps   per-step batch composition, execution order.
@@ -70,6 +94,20 @@ ReplayOutcome ReplayServingTrace(const std::vector<ReplayStep>& steps,
                                  const std::vector<RequestRecord>& records,
                                  const Transformer& model,
                                  LinearExecutor& linears,
+                                 const ReplayOptions& options = {});
+
+/**
+ * Placement-aware replay: every step routes through `backend` with
+ * per-member placements — prefill chunks on `placement.prefill`, each
+ * decode member on its request's placement, so one batched decode step may
+ * mix NPU-quantized and CPU-float sequences. The bitwise check re-runs
+ * every sequence alone with the same per-step placements.
+ */
+ReplayOutcome ReplayServingTrace(const std::vector<ReplayStep>& steps,
+                                 const std::vector<RequestRecord>& records,
+                                 const Transformer& model,
+                                 DecodeBackend& backend,
+                                 const ReplayPlacement& placement,
                                  const ReplayOptions& options = {});
 
 }  // namespace llmnpu

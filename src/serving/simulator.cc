@@ -147,7 +147,9 @@ ServingSimulator::Run()
         npu_busy = true;
         npu_start = now;
         npu_end = now + duration;
-        npu_interference = npu_job.profile->prefill_decode_interference;
+        // The factor matching where this run's decode lives: the float
+        // processor the chunk's float stages hold, or the NPU itself.
+        npu_interference = npu_job.profile->DecodeInterference();
         result.npu_busy_ms += duration;
         if (step_active) {
             // The chunk's float stages steal decode bandwidth from the
@@ -167,17 +169,28 @@ ServingSimulator::Run()
         step_members.assign(decode_pool.begin(),
                             decode_pool.begin() + static_cast<long>(batch));
         double token_ms = 0.0;
+        double engine_marginal = -1.0;
         for (int id : step_members) {
             const RequestRecord& record =
                 result.records[static_cast<size_t>(id)];
-            token_ms = std::max(
-                token_ms, costs_.Costs(record.request.AsInference())
-                              .decode_token_ms);
+            const ServingCostProfile& profile =
+                costs_.Costs(record.request.AsInference());
+            token_ms = std::max(token_ms, profile.decode_token_ms);
+            // Engines that know their own batching marginal (NPU-resident
+            // decode shares one weight stream per step) override the
+            // configured default; the max across members keeps the step
+            // cost conservative and independent of pool order, matching
+            // token_ms.
+            engine_marginal =
+                std::max(engine_marginal, profile.decode_batch_marginal);
         }
+        const double marginal = engine_marginal >= 0.0
+                                    ? engine_marginal
+                                    : options_.decode_batch_marginal;
         step_active = true;
         step_remaining_work =
-            token_ms * (1.0 + (static_cast<double>(batch) - 1.0) *
-                                  options_.decode_batch_marginal);
+            token_ms *
+            (1.0 + (static_cast<double>(batch) - 1.0) * marginal);
         step_last_update = now;
         step_start = now;
     };
@@ -250,6 +263,15 @@ ServingSimulator::Run()
             }
         } else {  // decode step completes
             const double elapsed = now - step_start;
+            // Decode steps are always traced on the CPU lane, even when
+            // their placement is the NPU: an NPU-resident decode step
+            // time-slices the accelerator with in-flight prefill chunks
+            // (that contention is priced by npu_decode_interference), so
+            // its NPU occupancy is not an exclusive interval and cannot
+            // join the chunk rows on the kNpu lane without violating the
+            // trace's one-task-per-unit invariant. The CPU lane records
+            // the step's wall-clock residency; npu_busy_ms stays
+            // chunks-only either way.
             result.trace_tasks.push_back(
                 {StrFormat("decode.step%d(B=%zu)", step_counter,
                            step_members.size()),

@@ -128,6 +128,12 @@ inline constexpr double kNpuMemoryRegionBytes = 4.0 * 1024 * 1024 * 1024;
 /** Shared-buffer synchronization of a shadow-outlier partial sum (§3.3:
  *  un-pruned layers cost 29.7% e2e latency on Qwen1.5-1.8B at rate 0). */
 inline constexpr double kShadowSyncMs = 0.55;
+/** Per-layer CPU<->NPU round trip of the prebuilt decode graph (quantized
+ *  activations in, per-column-scaled accumulators out). Decode buffers are
+ *  tiny (M <= 8 rows), so this is latency- not bandwidth-bound. Modeled,
+ *  not paper-measured: the paper keeps decode on the float processor, so
+ *  this is the boundary charge of our beyond-paper NPU-decode mode. */
+inline constexpr double kNpuDecodeHandoffMs = 0.06;
 
 // ------------------------------------------------------------------- disk
 /** UFS 4.0 sequential read bandwidth (cold outlier weight fetch). */

@@ -19,12 +19,15 @@
 
 #include "src/core/llmnpu_engine.h"
 #include "src/core/shadow_executor.h"
+#include "src/model/decode_backend.h"
 #include "src/quant/baselines.h"
 #include "src/serving/replay.h"
 #include "src/serving/simulator.h"
+#include "src/util/rng.h"
 #include "src/util/threadpool.h"
 #include "src/workloads/arrivals.h"
 #include "tests/support/tiny_model.h"
+#include "tests/support/token_streams.h"
 
 namespace llmnpu {
 namespace {
@@ -85,13 +88,6 @@ TEST(KvCacheLockstepDeathTest, OversizedLaterChunkPanics)
 /** One batched step: (sequence, token count) pairs, ragged by design. */
 using ScriptStep = std::vector<std::pair<int, int>>;
 
-/** Deterministic per-sequence token stream (teacher-forced). */
-int
-TokenAt(int seq, int index, int vocab)
-{
-    return ((seq + 1) * 131 + index * 37 + 11) % vocab;
-}
-
 /**
  * Runs `script` through ForwardBatch, then re-runs every sequence alone
  * with the same per-step token groups through Forward, and asserts the
@@ -116,7 +112,7 @@ RunScriptBitwise(const Transformer& model, LinearExecutor& linears,
             if (!slots.count(seq)) slots[seq] = cache.AddSequence();
             std::vector<int> tokens;
             for (int i = 0; i < count; ++i) {
-                tokens.push_back(TokenAt(seq, cursor[seq]++, vocab));
+                tokens.push_back(TestTokenAt(seq, cursor[seq]++, vocab));
             }
             groups[seq].push_back(tokens);
             batch.push_back({slots[seq], std::move(tokens)});
@@ -310,7 +306,7 @@ TEST_F(BatchedExecutorShapeTest, ShadowStatsMatchSequential)
         for (size_t i = 0; i < step.size(); ++i) {
             const auto [seq, count] = step[i];
             for (int t = 0; t < count; ++t) {
-                tokens[i].push_back(TokenAt(seq, cursor[seq]++ , vocab));
+                tokens[i].push_back(TestTokenAt(seq, cursor[seq]++ , vocab));
             }
             batch.push_back({seq, tokens[i]});
         }
@@ -396,6 +392,41 @@ TEST_F(TraceReplayTest, ReplayedTraceIsBitwiseExactForEveryExecutor)
             << "trace never batched decode — raise rate_rps so requests "
                "overlap";
         EXPECT_EQ(outcome.truncated_memberships, 0);
+    }
+}
+
+TEST_F(TraceReplayTest, RandomizedDecodePlacementsReplayBitwise)
+{
+    // Property: for ANY per-request decode placement assignment (CPU or
+    // NPU), replaying the served schedule through the DecodeBackend
+    // reproduces each sequence's streams bitwise vs the solo run with the
+    // same placement — even when one batched decode step mixes NPU-
+    // quantized and CPU-float members and must split into placement runs.
+    const ServingResult result = SimulateTrace(6);
+    ReplayOptions options;
+    options.max_output_tokens = 64;
+
+    for (uint64_t seed : {1u, 2u, 3u, 4u}) {
+        Rng rng(seed);
+        ReplayPlacement placement;
+        placement.prefill = rng.UniformInt(2) == 0
+                                ? DecodePlacement::kCpuFloat
+                                : DecodePlacement::kNpuQuant;
+        for (size_t id = 0; id < result.records.size(); ++id) {
+            placement.decode.push_back(rng.UniformInt(2) == 0
+                                           ? DecodePlacement::kCpuFloat
+                                           : DecodePlacement::kNpuQuant);
+        }
+        Fp32LinearExecutor fp32(tiny_.weights);
+        NpuShadowExecutor shadow(tiny_.weights, tiny_.profile, 0.5);
+        DecodeBackend backend(fp32, shadow);
+        const ReplayOutcome outcome =
+            ReplayServingTrace(result.replay_steps, result.records,
+                               tiny_.model, backend, placement, options);
+        EXPECT_TRUE(outcome.bitwise_match)
+            << "seed " << seed << ": " << outcome.first_mismatch;
+        EXPECT_EQ(outcome.sequences, 6) << "seed " << seed;
+        EXPECT_GT(outcome.decode_steps, 0) << "seed " << seed;
     }
 }
 

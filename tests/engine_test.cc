@@ -337,7 +337,10 @@ TEST_F(EngineFixture, SupportMatrixMatchesPaper)
     EXPECT_TRUE(tflite.SupportsModel(Gemma2B()));
     EXPECT_FALSE(tflite.SupportsModel(Llama2_7B()));
     EXPECT_TRUE(pi2.SupportsModel(Llama2_7B()));
-    EXPECT_FALSE(pi2.SupportsModel(Gemma2B()));
+    // Covered since the decode-on-NPU converters landed: dense-activation
+    // models no longer need PowerInfer's sparsity predictor (beyond-paper
+    // coverage; Table 5 leaves the cell "-").
+    EXPECT_TRUE(pi2.SupportsModel(Gemma2B()));
 }
 
 TEST_F(EngineFixture, ChunkLen256NearOptimal)

@@ -93,11 +93,10 @@ TEST_P(EngineMonotonicityTest, PrefillGrowsWithPromptLength)
     InferenceEngine* engine =
         engine_idx == 0 ? static_cast<InferenceEngine*>(&ours)
                         : baselines[static_cast<size_t>(engine_idx - 1)].get();
-    // Exactly 7 of the 30 grid points skip, by design, matching the §4.1
+    // Exactly 5 of the 30 grid points skip, by design, matching the §4.1
     // support matrix: each baseline framework only ships converters and
     // kernels for the model families its authors ported (MNN lacks
     // Gemma/Mistral, TFLite only serves its Google-family ports
-    // Gemma/Phi-2, PowerInfer-V2 needs ReLU-family weights and skips
     // Gemma/Phi-2). The paper's Table 5 reports these cells as "-" too, so
     // the right behaviour is to skip, not to fake a number. The pinned
     // matrix itself is asserted by EngineFixture.SupportMatrixMatchesPaper
@@ -106,9 +105,15 @@ TEST_P(EngineMonotonicityTest, PrefillGrowsWithPromptLength)
     // Revisited when the serving layer landed: its ServingCosts() hook
     // gives every baseline a serving-cost decomposition (the default
     // monolithic one), but a cost hook cannot conjure the missing model
-    // converters/kernels, so SupportsModel() — and these 7 skips — are
-    // unchanged. Burning them down would mean inventing latency numbers
-    // for engine/model pairs the paper itself leaves blank.
+    // converters/kernels, so SupportsModel() was unchanged then (7 skips).
+    //
+    // Revisited again when decode-on-NPU landed: the per-group INT8 NPU
+    // decode-graph converters cover dense-activation models without a
+    // sparsity predictor, which is exactly what PowerInfer-V2 lacked for
+    // Gemma-2B and Phi-2-2.7B — those two grid points now run (as
+    // beyond-paper coverage; Table 5 leaves them "-"). MNN's and TFLite's
+    // gaps are CPU/GPU converter gaps an NPU decode path cannot fill, so
+    // their 5 skips remain.
     if (!engine->SupportsModel(config)) {
         GTEST_SKIP() << engine->Name() << " does not support " << config.name
                      << " (see §4.1 support matrix)";
@@ -131,7 +136,7 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(EnginePropertyTest, BaselineSupportMatrixPinsSkipCount)
 {
-    // Guards the 7 documented skips of the monotonicity grid above: if a
+    // Guards the 5 documented skips of the monotonicity grid above: if a
     // baseline gains or loses model support, this fails so the skip
     // documentation gets revisited rather than silently drifting.
     auto baselines = MakePaperBaselines();
@@ -153,8 +158,6 @@ TEST(EnginePropertyTest, BaselineSupportMatrixPinsSkipCount)
         "TFLite-GPU/Qwen1.5-1.8B",
         "TFLite-GPU/LlaMA-2-7B",
         "TFLite-GPU/Mistral-7B",
-        "PowerInfer-V2-NPU/Gemma-2B",
-        "PowerInfer-V2-NPU/Phi-2-2.7B",
     };
     EXPECT_EQ(unsupported, expected);
 }
@@ -169,6 +172,34 @@ TEST(EnginePropertyTest, DecodeGrowsWithOutputLength)
             ours.Run(Qwen15_1_8B(), soc, {256, out});
         EXPECT_GT(result.decode_ms, prev);
         prev = result.decode_ms;
+    }
+}
+
+TEST(EnginePropertyTest, NpuDecodeTpotMonotoneInBatchSize)
+{
+    // The M=B decode matmul streams each weight panel once per step, so
+    // growing the batch amortizes the stream: step latency is monotone
+    // non-decreasing in B while per-token TPOT is monotone non-increasing.
+    const SocSpec soc = SocSpec::RedmiK70Pro();
+    LlmNpuOptions options;
+    options.decode_placement = DecodePlacement::kNpuQuant;
+    LlmNpuEngine engine(options);
+    for (const ModelConfig& config :
+         {Qwen15_1_8B(), Gemma2B(), Llama2_7B()}) {
+        double prev_step = 0.0;
+        double prev_tpot = 1e300;
+        for (int batch : {1, 2, 4, 8}) {
+            const auto step = engine.NpuDecodeStep(config, soc, 1024, batch);
+            EXPECT_GT(step.npu_matvec_ms, 0.0) << config.name;
+            EXPECT_GT(step.float_ms, 0.0) << config.name;
+            EXPECT_GE(step.TotalMs(), prev_step) << config.name << " B="
+                                                 << batch;
+            const double tpot = step.TotalMs() / batch;
+            EXPECT_LE(tpot, prev_tpot + 1e-12)
+                << config.name << " B=" << batch;
+            prev_step = step.TotalMs();
+            prev_tpot = tpot;
+        }
     }
 }
 

@@ -106,8 +106,18 @@ TEST_F(ServingFixture, LlmNpuDecompositionMatchesSingleShotRun)
                 run.prefill_ms * 1e-9);
     EXPECT_NEAR(profile.decode_token_ms * request.output_len, run.decode_ms,
                 run.decode_ms * 1e-9);
-    EXPECT_GT(profile.prefill_decode_interference, 0.0);
-    EXPECT_LE(profile.prefill_decode_interference, 0.95);
+    EXPECT_GT(profile.float_decode_interference, 0.0);
+    EXPECT_LE(profile.float_decode_interference, 0.95);
+    // The NPU factor is the chunk's accelerator busy fraction — higher
+    // than the float share it leaves the CPU (the NPU is the bottleneck).
+    EXPECT_GT(profile.npu_decode_interference,
+              profile.float_decode_interference);
+    EXPECT_LE(profile.npu_decode_interference, 0.95);
+    // Default placement is the paper's: decode on the float processor.
+    EXPECT_EQ(profile.decode_placement, DecodePlacement::kCpuFloat);
+    EXPECT_DOUBLE_EQ(profile.DecodeInterference(),
+                     profile.float_decode_interference);
+    EXPECT_LT(profile.decode_batch_marginal, 0.0);  // no engine override
     // Later chunks attend to longer kv: occupancy never shrinks.
     for (size_t c = 1; c < profile.chunk_ms.size(); ++c) {
         EXPECT_GE(profile.chunk_ms[c], profile.chunk_ms[c - 1]);
@@ -123,7 +133,10 @@ TEST_F(ServingFixture, BaselineDefaultDecompositionIsMonolithic)
         engine.ServingCosts(qwen_, soc_, request);
     ASSERT_EQ(profile.chunk_ms.size(), 1u);
     EXPECT_DOUBLE_EQ(profile.chunk_ms[0], run.prefill_ms);
-    EXPECT_DOUBLE_EQ(profile.prefill_decode_interference, 1.0);
+    // Single-processor: both placement factors fully blocked.
+    EXPECT_DOUBLE_EQ(profile.float_decode_interference, 1.0);
+    EXPECT_DOUBLE_EQ(profile.npu_decode_interference, 1.0);
+    EXPECT_DOUBLE_EQ(profile.DecodeInterference(), 1.0);
     EXPECT_NEAR(profile.decode_token_ms * request.output_len, run.decode_ms,
                 run.decode_ms * 1e-9);
 }

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Shared teacher-forced token-stream helpers for the batched and
+ * decode-npu suites: both must feed identical per-sequence streams so
+ * their batched-vs-sequential scripts exercise the same inputs.
+ */
+#ifndef LLMNPU_TESTS_SUPPORT_TOKEN_STREAMS_H
+#define LLMNPU_TESTS_SUPPORT_TOKEN_STREAMS_H
+
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace llmnpu {
+
+/** Deterministic per-sequence token stream (teacher-forced). */
+inline int
+TestTokenAt(int seq, int index, int vocab)
+{
+    return ((seq + 1) * 131 + index * 37 + 11) % vocab;
+}
+
+/** Appends every row of `t` (f32) to `dst`. */
+inline void
+AppendTensorRows(std::vector<float>& dst, const Tensor& t)
+{
+    const float* p = t.Data<float>();
+    dst.insert(dst.end(), p, p + t.NumElements());
+}
+
+}  // namespace llmnpu
+
+#endif  // LLMNPU_TESTS_SUPPORT_TOKEN_STREAMS_H
