@@ -26,6 +26,8 @@
 
 #include "src/core/outlier_profile.h"
 #include "src/core/shadow_executor.h"
+#include "src/model/batched_kv_cache.h"
+#include "src/model/paged_attention.h"
 #include "src/tensor/matmul.h"
 #include "src/tensor/ops.h"
 #include "src/util/rng.h"
@@ -171,6 +173,71 @@ EmitKernelMetrics()
     }
 }
 
+/**
+ * Fused paged attention vs the per-sequence path it replaced: a B=16
+ * batched decode step (one query row per sequence) over paged KV at
+ * several context lengths. The reference materializes each sequence's
+ * dense K/V and runs CausalAttention per sequence — exactly what
+ * ForwardBatch did before the fused kernel — so the speedup row prices
+ * the fusion itself (tile-parallel, page-direct reads, no dense copies).
+ * Attention does 4*kv*head_dim flops per (seq, head) query row, which
+ * MeasureGFlops' 2*m*k*n form matches as m=B*heads, k=2*kv, n=head_dim.
+ */
+void
+EmitPagedAttentionMetrics()
+{
+    const std::vector<int64_t> contexts =
+        QuickMode() ? std::vector<int64_t>{256}
+                    : std::vector<int64_t>{128, 256, 512};
+    const std::vector<int> thread_counts =
+        QuickMode() ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4};
+    constexpr int kBatch = 16;
+    constexpr int kHeads = 8;
+    constexpr int kHeadDim = 32;
+    const int64_t model_dim = static_cast<int64_t>(kHeads) * kHeadDim;
+
+    for (int64_t kv : contexts) {
+        Rng rng(0x9a6ed + static_cast<uint64_t>(kv));
+        BatchedKvCache cache(1, model_dim, 0, PagedKvOptions{});
+        std::vector<int> seqs;
+        std::vector<int64_t> segments{0};
+        std::vector<int64_t> pos_offsets;
+        for (int b = 0; b < kBatch; ++b) {
+            const int seq = cache.AddSequence();
+            cache.Append(seq, 0, RandomTensor(rng, {kv, model_dim}),
+                         RandomTensor(rng, {kv, model_dim}));
+            seqs.push_back(seq);
+            // Decode semantics: the step's K/V row is already appended, so
+            // the query sits at the last cached position.
+            pos_offsets.push_back(kv - 1);
+            segments.push_back(segments.back() + 1);
+        }
+        Tensor q = RandomTensor(rng, {kBatch, model_dim});
+
+        const int64_t flop_m = static_cast<int64_t>(kBatch) * kHeads;
+        const double per_seq = MeasureGFlops(flop_m, 2 * kv, kHeadDim, [&] {
+            for (int seq : seqs) {
+                benchmark::DoNotOptimize(CausalAttention(
+                    q.CopyRows(seq, 1), cache.Keys(seq, 0),
+                    cache.Values(seq, 0), kHeads, kHeads, kv - 1));
+            }
+        });
+        PrintMetric("paged_attention", "per_seq_dense", kBatch, kv,
+                    model_dim, 1, per_seq, 1.0);
+        for (int threads : thread_counts) {
+            ScopedNumThreads scoped(threads);
+            const double fused =
+                MeasureGFlops(flop_m, 2 * kv, kHeadDim, [&] {
+                    benchmark::DoNotOptimize(PagedCausalAttention(
+                        q, segments, seqs, pos_offsets, cache, 0, kHeads,
+                        kHeads));
+                });
+            PrintMetric("paged_attention", "fused", kBatch, kv, model_dim,
+                        threads, fused, fused / per_seq);
+        }
+    }
+}
+
 // ----------------------------------------------------- google-benchmark
 
 void
@@ -292,7 +359,10 @@ main(int argc, char** argv)
     // the google-benchmark pass is for interactive use — with benchmark
     // flags given, run only that pass, and skip it in quick (CI smoke)
     // runs.
-    if (plain_run) llmnpu::EmitKernelMetrics();
+    if (plain_run) {
+        llmnpu::EmitKernelMetrics();
+        llmnpu::EmitPagedAttentionMetrics();
+    }
     if (!plain_run || !llmnpu::QuickMode()) {
         benchmark::RunSpecifiedBenchmarks();
     }

@@ -136,6 +136,60 @@ function(collect_decode_metrics json_path out_var)
   set(${out_var} "${pairs}" PARENT_SCOPE)
 endfunction()
 
+# Collects "paged_kv|<pool_pages>=kv_pages_mean" pairs for the
+# bench_serving paged-KV pool-sweep rows of one results file, checking the
+# hard pool-budget invariant (peak occupancy never exceeds the pool) on the
+# way. The sweep is deterministic simulator output, so occupancy drift is
+# checked with DECODE_BAND like the decode-placement rows.
+function(collect_paged_kv_metrics json_path out_var)
+  file(READ ${json_path} content)
+  string(JSON num_benches LENGTH ${content} "benches")
+  set(pairs "")
+  math(EXPR last_bench "${num_benches} - 1")
+  foreach(b RANGE ${last_bench})
+    string(JSON bench_name GET ${content} "benches" ${b} "name")
+    if(NOT bench_name STREQUAL "bench_serving")
+      continue()
+    endif()
+    string(JSON num_metrics ERROR_VARIABLE err
+           LENGTH ${content} "benches" ${b} "metrics")
+    if(err OR num_metrics EQUAL 0)
+      message(FATAL_ERROR
+        "check_bench_metrics: ${json_path} has no bench_serving metric "
+        "rows — the serving METRIC output regressed")
+    endif()
+    math(EXPR last_metric "${num_metrics} - 1")
+    foreach(i RANGE ${last_metric})
+      set(prefix "benches" ${b} "metrics" ${i})
+      string(JSON mode ERROR_VARIABLE err GET ${content} ${prefix} "mode")
+      if(err OR NOT mode STREQUAL "paged_kv")
+        continue()
+      endif()
+      string(JSON pool GET ${content} ${prefix} "kv_pool_pages")
+      string(JSON peak GET ${content} ${prefix} "kv_pages_peak")
+      string(JSON mean GET ${content} ${prefix} "kv_pages_mean")
+      if(peak GREATER pool)
+        message(FATAL_ERROR
+          "check_bench_metrics: ${json_path}: paged_kv pool=${pool} has "
+          "kv_pages_peak=${peak} above the pool budget — the bounded-pool "
+          "invariant broke")
+      endif()
+      if(NOT mean GREATER 0)
+        message(FATAL_ERROR
+          "check_bench_metrics: ${json_path}: paged_kv pool=${pool} has "
+          "non-positive kv_pages_mean=${mean}")
+      endif()
+      list(APPEND pairs "paged_kv|${pool}=${mean}")
+    endforeach()
+  endforeach()
+  if(pairs STREQUAL "")
+    message(FATAL_ERROR
+      "check_bench_metrics: ${json_path} has no paged_kv pool-sweep rows — "
+      "the bench_serving paged-KV METRIC output regressed")
+  endif()
+  set(${out_var} "${pairs}" PARENT_SCOPE)
+endfunction()
+
 # Band-checks every fresh "key=value" pair whose key exists in the baseline
 # list against `band` (e.g. 5.0 = within 5x either way); fails if none
 # match or any value strays outside the band.
@@ -193,8 +247,14 @@ collect_decode_metrics(${RESULTS} fresh_decode)
 collect_decode_metrics(${BASELINE} base_decode)
 band_check_pairs("${fresh_decode}" "${base_decode}" "decode-tokens/s"
                  ${DECODE_BAND})
+set(decode_matched ${band_matched})
+
+collect_paged_kv_metrics(${RESULTS} fresh_paged)
+collect_paged_kv_metrics(${BASELINE} base_paged)
+band_check_pairs("${fresh_paged}" "${base_paged}" "kv-pages-mean"
+                 ${DECODE_BAND})
 
 message(STATUS
-  "check_bench_metrics: ${kernel_matched} kernel rows within ${BAND}x and "
-  "${band_matched} decode-placement rows within ${DECODE_BAND}x of the "
-  "committed baseline")
+  "check_bench_metrics: ${kernel_matched} kernel rows within ${BAND}x, "
+  "${decode_matched} decode-placement rows and ${band_matched} paged-KV "
+  "occupancy rows within ${DECODE_BAND}x of the committed baseline")

@@ -19,6 +19,25 @@ LinearKindName(LinearKind kind)
     return "?";
 }
 
+void
+ModelConfig::Validate() const
+{
+    LLMNPU_CHECK_GT(hidden_size, 0);
+    LLMNPU_CHECK_GT(num_layers, 0);
+    LLMNPU_CHECK_GT(num_heads, 0);
+    LLMNPU_CHECK_GT(num_kv_heads, 0);
+    LLMNPU_CHECK_GT(head_dim, 0);
+    LLMNPU_CHECK_GT(ffn_hidden, 0);
+    LLMNPU_CHECK_GT(vocab_size, 0);
+    LLMNPU_CHECK_GT(max_context, 0);
+    // head_dim must be the exact quotient — a truncating hidden/num_heads
+    // would silently shrink every attention projection.
+    LLMNPU_CHECK_EQ(hidden_size % num_heads, 0);
+    LLMNPU_CHECK_EQ(static_cast<int64_t>(num_heads) * head_dim, hidden_size);
+    LLMNPU_CHECK_EQ(head_dim % 2, 0);  // RoPE rotates (even, odd) pairs
+    LLMNPU_CHECK_EQ(num_heads % num_kv_heads, 0);  // whole GQA groups
+}
+
 std::vector<LinearSpec>
 ModelConfig::LayerLinears() const
 {
@@ -217,6 +236,7 @@ ScaledProxy(const ModelConfig& base, int64_t hidden, int num_layers,
     c.ffn_hidden = (c.ffn_hidden + 31) / 32 * 32;
     c.vocab_size = vocab;
     c.max_context = 2048;
+    c.Validate();
     return c;
 }
 

@@ -64,6 +64,17 @@ struct ModelConfig {
     ActKind act = ActKind::kSiLU;
     bool gated_ffn = true;
 
+    /**
+     * Panics unless the config is internally consistent: every dimension
+     * positive, hidden_size divisible by num_heads (so head_dim is exact,
+     * never silently truncated), head_dim matching that quotient, even
+     * head_dim (RoPE rotates pairs), and num_heads divisible by
+     * num_kv_heads (whole GQA groups). Called at weight-generation/load
+     * time so a malformed config fails loudly before any kernel runs on
+     * mis-shaped tensors.
+     */
+    void Validate() const;
+
     /** The per-layer linear operators in execution order. */
     std::vector<LinearSpec> LayerLinears() const;
 

@@ -1,0 +1,124 @@
+#include "src/model/kv_page_pool.h"
+
+namespace llmnpu {
+
+KvPagePool::KvPagePool(int num_layers, int64_t kv_dim, PagedKvOptions options)
+    : num_layers_(num_layers), kv_dim_(kv_dim), options_(options)
+{
+    LLMNPU_CHECK_GT(num_layers, 0);
+    LLMNPU_CHECK_GT(kv_dim, 0);
+    LLMNPU_CHECK_GT(options_.page_size, 0);
+    LLMNPU_CHECK_GE(options_.max_pages, 0);
+}
+
+int64_t
+KvPagePool::PageFloats() const
+{
+    return static_cast<int64_t>(num_layers_) * 2 * options_.page_size *
+           kv_dim_;
+}
+
+int64_t
+KvPagePool::PageBytes() const
+{
+    return PageFloats() * static_cast<int64_t>(sizeof(float));
+}
+
+int64_t
+KvPagePool::PagesFor(int64_t positions) const
+{
+    LLMNPU_CHECK_GE(positions, 0);
+    return (positions + options_.page_size - 1) / options_.page_size;
+}
+
+int64_t
+KvPagePool::free_pages() const
+{
+    int64_t free = static_cast<int64_t>(free_list_.size());
+    if (options_.max_pages > 0) {
+        free += options_.max_pages - allocated_pages();
+    }
+    return free;
+}
+
+int64_t
+KvPagePool::AllocPage()
+{
+    int64_t page;
+    if (!free_list_.empty()) {
+        page = free_list_.back();
+        free_list_.pop_back();
+    } else {
+        if (options_.max_pages > 0 && allocated_pages() >= options_.max_pages) {
+            return -1;
+        }
+        page = allocated_pages();
+        pages_.emplace_back(static_cast<size_t>(PageFloats()));
+        refcount_.push_back(0);
+    }
+    LLMNPU_CHECK_EQ(refcount_[static_cast<size_t>(page)], 0);
+    refcount_[static_cast<size_t>(page)] = 1;
+    ++used_pages_;
+    return page;
+}
+
+void
+KvPagePool::AddRef(int64_t page)
+{
+    LLMNPU_CHECK_GE(page, 0);
+    LLMNPU_CHECK_LT(page, allocated_pages());
+    LLMNPU_CHECK_GT(refcount_[static_cast<size_t>(page)], 0);
+    ++refcount_[static_cast<size_t>(page)];
+}
+
+void
+KvPagePool::Release(int64_t page)
+{
+    LLMNPU_CHECK_GE(page, 0);
+    LLMNPU_CHECK_LT(page, allocated_pages());
+    int64_t& refs = refcount_[static_cast<size_t>(page)];
+    LLMNPU_CHECK_GT(refs, 0);
+    if (--refs == 0) {
+        free_list_.push_back(page);
+        --used_pages_;
+    }
+}
+
+int64_t
+KvPagePool::RefCount(int64_t page) const
+{
+    LLMNPU_CHECK_GE(page, 0);
+    LLMNPU_CHECK_LT(page, allocated_pages());
+    return refcount_[static_cast<size_t>(page)];
+}
+
+float*
+KvPagePool::PageK(int64_t page, int layer)
+{
+    LLMNPU_CHECK_GE(page, 0);
+    LLMNPU_CHECK_LT(page, allocated_pages());
+    LLMNPU_CHECK_GE(layer, 0);
+    LLMNPU_CHECK_LT(layer, num_layers_);
+    return pages_[static_cast<size_t>(page)].data() +
+           static_cast<int64_t>(layer) * 2 * options_.page_size * kv_dim_;
+}
+
+const float*
+KvPagePool::PageK(int64_t page, int layer) const
+{
+    return const_cast<KvPagePool*>(this)->PageK(page, layer);
+}
+
+float*
+KvPagePool::PageV(int64_t page, int layer)
+{
+    return PageK(page, layer) + options_.page_size * kv_dim_;
+}
+
+const float*
+KvPagePool::PageV(int64_t page, int layer) const
+{
+    return const_cast<KvPagePool*>(this)->PageV(page, layer);
+}
+
+}  // namespace llmnpu

@@ -1,0 +1,129 @@
+#include "src/model/paged_attention.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+#include "src/util/threadpool.h"
+
+namespace llmnpu {
+
+Tensor
+PagedCausalAttention(const Tensor& q, const std::vector<int64_t>& segments,
+                     const std::vector<int>& seqs,
+                     const std::vector<int64_t>& pos_offsets,
+                     const BatchedKvCache& cache, int layer, int num_heads,
+                     int num_kv_heads)
+{
+    LLMNPU_CHECK_EQ(q.Rank(), 2);
+    LLMNPU_CHECK_GE(segments.size(), 2u);
+    const size_t b = segments.size() - 1;
+    LLMNPU_CHECK_EQ(seqs.size(), b);
+    LLMNPU_CHECK_EQ(pos_offsets.size(), b);
+    LLMNPU_CHECK_EQ(segments.front(), 0);
+    LLMNPU_CHECK_EQ(segments.back(), q.Rows());
+    LLMNPU_CHECK_EQ(q.Cols() % num_heads, 0);
+    LLMNPU_CHECK_EQ(num_heads % num_kv_heads, 0);
+    const int head_dim = static_cast<int>(q.Cols()) / num_heads;
+    LLMNPU_CHECK_EQ(static_cast<int64_t>(num_kv_heads) * head_dim,
+                    cache.kv_dim());
+
+    const int heads_per_kv = num_heads / num_kv_heads;
+    const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim));
+    const int64_t kv_dim = cache.kv_dim();
+    const int64_t ps = cache.page_size();
+    const KvPagePool& pool = cache.pool();
+
+    // Every member's history (this step's rows included) must already be
+    // appended, and the page tables must cover it.
+    for (size_t i = 0; i < b; ++i) {
+        const int64_t q_len = segments[i + 1] - segments[i];
+        LLMNPU_CHECK_GE(cache.SeqLen(seqs[i], layer),
+                        pos_offsets[i] + q_len);
+    }
+
+    Tensor out({q.Rows(), q.Cols()}, DType::kF32);
+    const float* pq = q.Data<float>();
+    float* po = out.Data<float>();
+    const int64_t q_cols = q.Cols();
+
+    // One tile = one (sequence, head) pair: disjoint output regions, a
+    // fixed per-tile reduction order, hence bitwise-deterministic output
+    // for any block partition the pool picks.
+    const int64_t tiles = static_cast<int64_t>(b) * num_heads;
+    ThreadPool::Global().ParallelFor(
+        tiles, /*grain=*/1, [&](int64_t begin, int64_t end) {
+            std::vector<float> scores;
+            std::vector<float> acc(static_cast<size_t>(head_dim));
+            for (int64_t tile = begin; tile < end; ++tile) {
+                const size_t i = static_cast<size_t>(tile / num_heads);
+                const int h = static_cast<int>(tile % num_heads);
+                const int kv_h = h / heads_per_kv;
+                const int64_t q_off = static_cast<int64_t>(h) * head_dim;
+                const int64_t kv_off =
+                    static_cast<int64_t>(kv_h) * head_dim;
+                const int64_t r0 = segments[i];
+                const int64_t q_len = segments[i + 1] - r0;
+                const std::vector<int64_t>& pages =
+                    cache.PageTable(seqs[i]);
+
+                for (int64_t r = 0; r < q_len; ++r) {
+                    const int64_t visible = pos_offsets[i] + r + 1;
+                    scores.assign(static_cast<size_t>(visible), 0.0f);
+                    const float* qrow = pq + (r0 + r) * q_cols + q_off;
+                    float mx = -1e30f;
+                    // Walk page-contiguous runs: the page lookup and
+                    // div/mod happen once per page, not once per position.
+                    // The position order (and hence float op order) is
+                    // unchanged, preserving the bitwise contract.
+                    for (int64_t j = 0; j < visible;) {
+                        const int64_t run =
+                            std::min(visible - j, ps - j % ps);
+                        const float* krow =
+                            pool.PageK(pages[static_cast<size_t>(j / ps)],
+                                       layer) +
+                            (j % ps) * kv_dim + kv_off;
+                        for (const int64_t e = j + run; j < e;
+                             ++j, krow += kv_dim) {
+                            float dot = 0.0f;
+                            for (int d = 0; d < head_dim; ++d) {
+                                dot += qrow[d] * krow[d];
+                            }
+                            scores[static_cast<size_t>(j)] = dot * scale;
+                            mx = std::max(mx,
+                                          scores[static_cast<size_t>(j)]);
+                        }
+                    }
+                    double sum = 0.0;
+                    for (int64_t j = 0; j < visible; ++j) {
+                        scores[static_cast<size_t>(j)] =
+                            std::exp(scores[static_cast<size_t>(j)] - mx);
+                        sum += scores[static_cast<size_t>(j)];
+                    }
+                    const float inv = static_cast<float>(1.0 / sum);
+                    std::fill(acc.begin(), acc.end(), 0.0f);
+                    for (int64_t j = 0; j < visible;) {
+                        const int64_t run =
+                            std::min(visible - j, ps - j % ps);
+                        const float* vrow =
+                            pool.PageV(pages[static_cast<size_t>(j / ps)],
+                                       layer) +
+                            (j % ps) * kv_dim + kv_off;
+                        for (const int64_t e = j + run; j < e;
+                             ++j, vrow += kv_dim) {
+                            const float w =
+                                scores[static_cast<size_t>(j)] * inv;
+                            for (int d = 0; d < head_dim; ++d) {
+                                acc[static_cast<size_t>(d)] += w * vrow[d];
+                            }
+                        }
+                    }
+                    float* orow = po + (r0 + r) * q_cols + q_off;
+                    std::copy(acc.begin(), acc.end(), orow);
+                }
+            }
+        });
+    return out;
+}
+
+}  // namespace llmnpu

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Fused batched causal attention over paged KV.
+ *
+ * The old batched path looped attention per sequence, each iteration
+ * copying the sequence's Q segment out of the stacked activation,
+ * materializing its whole K/V history into dense tensors, and pasting the
+ * result back — three copies per sequence per layer on the decode hot
+ * path. This kernel fuses the loop: one call covers every sequence of the
+ * batch, reads K/V directly out of the pool pages through each sequence's
+ * page table, writes straight into the stacked output, and tile-parallels
+ * the work across the persistent ThreadPool.
+ *
+ * Parallel shape: one tile = one (sequence, query head) pair, so B
+ * sequences x H heads tiles per call — enough parallelism at B=64+ decode
+ * to keep every core busy on what is otherwise the float-side critical
+ * path of NPU decode. Tiles write disjoint output regions and the per-tile
+ * arithmetic is a fixed sequential reduction, so output is bitwise
+ * identical at any thread count and bitwise identical to the per-sequence
+ * CausalAttention reference (same dot/softmax/accumulate ordering) — the
+ * batched-equals-sequential contract extends through this kernel
+ * unchanged.
+ */
+#ifndef LLMNPU_MODEL_PAGED_ATTENTION_H
+#define LLMNPU_MODEL_PAGED_ATTENTION_H
+
+#include <cstdint>
+#include <vector>
+
+#include "src/model/batched_kv_cache.h"
+#include "src/tensor/tensor.h"
+
+namespace llmnpu {
+
+/**
+ * Causal grouped-query attention for B stacked sequences over paged KV.
+ *
+ * @param q stacked RoPE'd queries [sum(m_i) x num_heads*head_dim]; rows
+ *        [segments[i], segments[i+1]) belong to sequence i.
+ * @param segments stacked-row boundaries, size B+1.
+ * @param seqs cache slot of each batch member, size B.
+ * @param pos_offsets global position of each member's first Q row, size B;
+ *        member i attends to its cache positions <= pos_offsets[i] + r.
+ * @param cache the paged KV holding every member's appended K/V history
+ *        for `layer` (this step's rows included).
+ * @return stacked attention output, same shape as `q`.
+ */
+Tensor PagedCausalAttention(const Tensor& q, const std::vector<int64_t>& segments,
+                            const std::vector<int>& seqs,
+                            const std::vector<int64_t>& pos_offsets,
+                            const BatchedKvCache& cache, int layer,
+                            int num_heads, int num_kv_heads);
+
+}  // namespace llmnpu
+
+#endif  // LLMNPU_MODEL_PAGED_ATTENTION_H

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "src/model/decode_backend.h"
+#include "src/model/paged_attention.h"
 #include "src/tensor/matmul.h"
 #include "src/tensor/ops.h"
 
@@ -75,10 +76,16 @@ Transformer::MakeCache() const
 BatchedKvCache
 Transformer::MakeBatchedCache(int num_sequences) const
 {
+    return MakeBatchedCache(num_sequences, PagedKvOptions{});
+}
+
+BatchedKvCache
+Transformer::MakeBatchedCache(int num_sequences, PagedKvOptions options) const
+{
     const auto& c = weights_.config;
     return BatchedKvCache(c.num_layers,
                           static_cast<int64_t>(c.num_kv_heads) * c.head_dim,
-                          num_sequences);
+                          num_sequences, options);
 }
 
 Tensor
@@ -169,28 +176,27 @@ Transformer::ForwardBlockBatch(int layer, const Tensor& x,
     const size_t b = batch.size();
 
     // --- Attention sub-block. Norms are row-wise and the QKV projections
-    // run as stacked matmuls; RoPE, cache append and causal attention are
-    // strictly per-sequence (own position offset, own K/V history).
+    // run as stacked matmuls; RoPE and the cache appends are per-sequence
+    // (own position offset, own page table) but write in place on the
+    // stacked tensors, and attention is one fused tile-parallel kernel
+    // reading K/V straight out of the pool pages.
     Tensor normed = Normed(x, lw.attn_norm_gamma, lw.attn_norm_beta);
     Tensor q = linears.ForwardBatch(layer, LinearKind::kWq, normed, segments);
     Tensor k = linears.ForwardBatch(layer, LinearKind::kWk, normed, segments);
     Tensor v = linears.ForwardBatch(layer, LinearKind::kWv, normed, segments);
 
-    Tensor attn({x.Rows(), q.Cols()}, DType::kF32);
+    std::vector<int> seqs(b, 0);
     for (size_t i = 0; i < b; ++i) {
         const int64_t r0 = segments[i];
         const int64_t rows = segments[i + 1] - r0;
         const int64_t pos = pos_offsets[i];
         ApplyRopeRows(q, r0, rows, c.num_heads, c.head_dim, pos);
         ApplyRopeRows(k, r0, rows, c.num_kv_heads, c.head_dim, pos);
-        KvCache& seq_cache = cache.Sequence(batch[i].seq);
-        seq_cache.Append(layer, k.CopyRows(r0, rows), v.CopyRows(r0, rows));
-        Tensor attn_seq =
-            CausalAttention(q.CopyRows(r0, rows), seq_cache.Keys(layer),
-                            seq_cache.Values(layer), c.num_heads,
-                            c.num_kv_heads, pos);
-        attn.PasteRows(attn_seq, r0);
+        cache.AppendRows(batch[i].seq, layer, k, v, r0, rows);
+        seqs[i] = batch[i].seq;
     }
+    Tensor attn = PagedCausalAttention(q, segments, seqs, pos_offsets, cache,
+                                       layer, c.num_heads, c.num_kv_heads);
     Tensor attn_out =
         linears.ForwardBatch(layer, LinearKind::kWo, attn, segments);
     Tensor h = Add(x, attn_out);
@@ -241,7 +247,7 @@ Transformer::ForwardBatch(const std::vector<BatchSeq>& batch,
         }
         segments[i + 1] =
             segments[i] + static_cast<int64_t>(batch[i].tokens.size());
-        pos_offsets[i] = cache.Sequence(batch[i].seq).SeqLen();
+        pos_offsets[i] = cache.SeqLen(batch[i].seq);
         stacked_tokens.insert(stacked_tokens.end(), batch[i].tokens.begin(),
                               batch[i].tokens.end());
     }

@@ -121,6 +121,7 @@ ModelWeights
 GenerateSyntheticWeights(const ModelConfig& config,
                          const SyntheticWeightsOptions& opts)
 {
+    config.Validate();  // fail loudly before any tensor gets a shape
     Rng rng(opts.seed);
     ModelWeights mw;
     mw.config = config;

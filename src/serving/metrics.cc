@@ -10,7 +10,6 @@ BuildReport(const std::vector<RequestRecord>& records, double makespan_ms,
             double npu_busy_ms, double decode_busy_ms, int preemptions)
 {
     ServingReport report;
-    report.admitted = static_cast<int>(records.size());
     report.makespan_ms = makespan_ms;
     report.preemptions = preemptions;
 
@@ -19,6 +18,12 @@ BuildReport(const std::vector<RequestRecord>& records, double makespan_ms,
     int met_slo = 0;
     int64_t tokens_out = 0;
     for (const RequestRecord& record : records) {
+        if (record.rejected) {
+            ++report.rejected;
+            continue;
+        }
+        ++report.admitted;
+        report.evictions += record.evictions;
         tokens_out += record.tokens_out;
         if (!record.Completed()) continue;
         ++report.completed;
@@ -28,23 +33,29 @@ BuildReport(const std::vector<RequestRecord>& records, double makespan_ms,
         queueing.Add(record.QueueingMs());
         met_slo += record.MetSlo() ? 1 : 0;
     }
-    if (report.completed > 0 && makespan_ms > 0.0) {
+    // Each block below is guarded only by its own denominator, so a
+    // degenerate run (all rejected, nothing completed, zero makespan)
+    // still yields an all-defined report: Percentile and RunningStat both
+    // return 0.0 on empty samples, never NaN.
+    report.ttft_p50_ms = Percentile(ttft, 50.0);
+    report.ttft_p95_ms = Percentile(ttft, 95.0);
+    report.ttft_p99_ms = Percentile(ttft, 99.0);
+    report.e2e_p50_ms = Percentile(e2e, 50.0);
+    report.e2e_p95_ms = Percentile(e2e, 95.0);
+    report.e2e_p99_ms = Percentile(e2e, 99.0);
+    report.tpot_mean_ms = tpot.mean();
+    report.queueing_mean_ms = queueing.mean();
+    if (makespan_ms > 0.0) {
         report.throughput_rps = report.completed / (makespan_ms / 1e3);
         report.goodput_rps = met_slo / (makespan_ms / 1e3);
-        report.slo_attainment =
-            static_cast<double>(met_slo) / report.completed;
-        report.ttft_p50_ms = Percentile(ttft, 50.0);
-        report.ttft_p95_ms = Percentile(ttft, 95.0);
-        report.ttft_p99_ms = Percentile(ttft, 99.0);
-        report.e2e_p50_ms = Percentile(e2e, 50.0);
-        report.e2e_p95_ms = Percentile(e2e, 95.0);
-        report.e2e_p99_ms = Percentile(e2e, 99.0);
-        report.tpot_mean_ms = tpot.mean();
-        report.queueing_mean_ms = queueing.mean();
         report.npu_utilization = npu_busy_ms / makespan_ms;
         report.decode_utilization = decode_busy_ms / makespan_ms;
         report.decode_tokens_per_sec =
             static_cast<double>(tokens_out) / (makespan_ms / 1e3);
+    }
+    if (report.completed > 0) {
+        report.slo_attainment =
+            static_cast<double>(met_slo) / report.completed;
     }
     return report;
 }
@@ -52,13 +63,20 @@ BuildReport(const std::vector<RequestRecord>& records, double makespan_ms,
 std::string
 ServingReport::Summary() const
 {
-    return StrFormat(
+    std::string line = StrFormat(
         "%d/%d done  %.2f req/s (goodput %.2f, SLO %.0f%%)  ttft p50/p99 "
         "%s/%s  e2e p99 %s  npu %.0f%%",
         completed, admitted, throughput_rps, goodput_rps,
         slo_attainment * 100.0, HumanMs(ttft_p50_ms).c_str(),
         HumanMs(ttft_p99_ms).c_str(), HumanMs(e2e_p99_ms).c_str(),
         npu_utilization * 100.0);
+    if (kv_pool_pages > 0) {
+        line += StrFormat("  kv %lld/%lld pages (rej %d, evict %d)",
+                          static_cast<long long>(kv_pages_peak),
+                          static_cast<long long>(kv_pool_pages), rejected,
+                          evictions);
+    }
+    return line;
 }
 
 }  // namespace llmnpu

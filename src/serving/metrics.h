@@ -7,6 +7,7 @@
 #ifndef LLMNPU_SERVING_METRICS_H
 #define LLMNPU_SERVING_METRICS_H
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -14,9 +15,13 @@
 
 namespace llmnpu {
 
-/** One run's aggregate metrics. All latencies in ms, rates in req/s. */
+/** One run's aggregate metrics. All latencies in ms, rates in req/s.
+ *  Every field is well-defined (0, never NaN) for degenerate runs — an
+ *  all-rejected trace or an empty record set yields an all-zero report. */
 struct ServingReport {
     int admitted = 0;
+    /** Refused at arrival by KV admission control. */
+    int rejected = 0;
     int completed = 0;
     double makespan_ms = 0.0;
 
@@ -46,6 +51,15 @@ struct ServingReport {
     double decode_utilization = 0.0;
     /** Decode steps slowed by an incoming prefill chunk. */
     int preemptions = 0;
+    /** KV-page eviction preemptions (requests bounced back to prefill). */
+    int evictions = 0;
+
+    /** KV page pool budget in pages; 0 = unbounded. */
+    int64_t kv_pool_pages = 0;
+    /** Peak pages in use over the run. */
+    int64_t kv_pages_peak = 0;
+    /** Time-mean pages in use over the makespan. */
+    double kv_pages_mean = 0.0;
 
     /** One-line human-readable summary. */
     std::string Summary() const;

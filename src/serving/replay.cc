@@ -108,6 +108,21 @@ ReplayTraceImpl(const std::vector<ReplayStep>& steps,
         if (step.is_prefill) {
             const int id = step.request_ids.front();
             SeqState& state = seqs.at(id);
+            if (step.chunk_index == 0 && state.chunks_done > 0) {
+                // Eviction restart: the simulator released this request's
+                // KV pages mid-decode and re-ran its prefill from chunk 0.
+                // Mirror it — retire the slot (pages back to the pool) and
+                // recompute from scratch. Collected rows reset too: the
+                // bitwise reference is the *uninterrupted* solo run of the
+                // final pass, so eviction-then-readmit must reproduce it
+                // exactly.
+                cache.RetireSequence(state.slot);
+                state.slot = -1;
+                state.chunks_done = 0;
+                state.tokens_decoded = 0;
+                state.hidden_rows.clear();
+                state.logit_rows.clear();
+            }
             if (state.slot < 0) state.slot = cache.AddSequence();
             LLMNPU_CHECK_EQ(state.chunks_done, step.chunk_index);
             batch.push_back({state.slot,

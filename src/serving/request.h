@@ -40,6 +40,11 @@ struct RequestRecord {
     int tokens_out = 0;
     /** Decode steps of this request slowed by an incoming prefill chunk. */
     int preemptions = 0;
+    /** Refused at arrival by KV admission control (never dispatched). */
+    bool rejected = false;
+    /** Times this request was preempted by KV-page eviction mid-decode
+     *  (its pages released, its prefill restarted from chunk 0). */
+    int evictions = 0;
 
     bool Completed() const { return finish_ms >= 0.0; }
     double QueueingMs() const { return first_dispatch_ms - request.arrival_ms; }

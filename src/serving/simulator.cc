@@ -34,8 +34,12 @@ struct PendingPrefill {
 ServingReport
 ServingResult::Report() const
 {
-    return BuildReport(records, makespan_ms, npu_busy_ms, decode_busy_ms,
-                       preemptions);
+    ServingReport report = BuildReport(records, makespan_ms, npu_busy_ms,
+                                       decode_busy_ms, preemptions);
+    report.kv_pool_pages = kv_pool_pages;
+    report.kv_pages_peak = kv_pages_peak;
+    report.kv_pages_mean = kv_pages_mean;
+    return report;
 }
 
 ServingSimulator::ServingSimulator(ServingCostModel& costs,
@@ -47,6 +51,8 @@ ServingSimulator::ServingSimulator(ServingCostModel& costs,
     LLMNPU_CHECK_GT(options_.num_requests, 0);
     LLMNPU_CHECK_GT(options_.max_decode_batch, 0);
     LLMNPU_CHECK_GE(options_.decode_batch_marginal, 0.0);
+    LLMNPU_CHECK_GE(options_.kv_pool_pages, 0);
+    LLMNPU_CHECK_GT(options_.kv_page_size, 0);
     if (!options_.closed_loop) LLMNPU_CHECK_GT(options_.rate_rps, 0.0);
     if (options_.closed_loop) LLMNPU_CHECK_GT(options_.num_clients, 0);
 }
@@ -97,6 +103,33 @@ ServingSimulator::Run()
         return npu_busy ? std::max(0.05, 1.0 - npu_interference) : 1.0;
     };
 
+    // ---- KV page accounting. Usage (held pages per request, peak, time
+    // integral) is tracked for every run; the budget gates admission,
+    // dispatch and decode growth only when bounded (kv_pool_pages > 0).
+    const bool kv_bounded = options_.kv_pool_pages > 0;
+    const int64_t kv_page = options_.kv_page_size;
+    auto pages_for = [&](int64_t positions) {
+        return (positions + kv_page - 1) / kv_page;
+    };
+    std::vector<int64_t> kv_held;  // pages reserved, indexed by request id
+    int64_t kv_free = options_.kv_pool_pages;
+    int64_t kv_used = 0;
+    double kv_integral = 0.0;  // pages x ms, for the time-mean occupancy
+    result.kv_pool_pages = options_.kv_pool_pages;
+
+    auto kv_take = [&](int id, int64_t pages) {
+        kv_free -= pages;
+        kv_used += pages;
+        kv_held[static_cast<size_t>(id)] += pages;
+        result.kv_pages_peak = std::max(result.kv_pages_peak, kv_used);
+    };
+    auto kv_drop_all = [&](int id) {
+        int64_t& held = kv_held[static_cast<size_t>(id)];
+        kv_free += held;
+        kv_used -= held;
+        held = 0;
+    };
+
     auto admit = [&](const ArrivalEvent& event) {
         RequestRecord record;
         record.request.id = static_cast<int>(result.records.size());
@@ -109,7 +142,30 @@ ServingSimulator::Run()
                 event.arrival_ms +
                 options_.slo_factor * costs_.IsolatedE2eMs(event.request);
         }
+        // Admission control: a request whose *whole* KV demand (prompt
+        // plus every output token) exceeds the pool budget can never run
+        // to completion — reject it at the door rather than let it starve
+        // or thrash the pool. Requests that merely don't fit right now are
+        // not rejected; they queue and wait for pages.
+        const int64_t demand =
+            pages_for(static_cast<int64_t>(record.request.prompt_len) +
+                      record.request.output_len);
+        if (kv_bounded && demand > options_.kv_pool_pages) {
+            record.rejected = true;
+            result.records.push_back(record);
+            kv_held.push_back(0);
+            ++result.rejected;
+            // A closed-loop client whose request was refused comes back
+            // after its think time, same as after a completion.
+            if (options_.closed_loop && issued < options_.num_requests) {
+                client_wakeups.push_back(event.arrival_ms +
+                                         options_.think_time_ms);
+                ++issued;
+            }
+            return;
+        }
         result.records.push_back(record);
+        kv_held.push_back(0);
         PendingPrefill pending;
         pending.id = record.request.id;
         pending.profile = &costs_.Costs(event.request);
@@ -119,10 +175,20 @@ ServingSimulator::Run()
     auto start_chunk_if_idle = [&]() {
         if (npu_busy || prefill_queue.empty()) return;
         std::vector<QueueEntry> entries;
+        std::vector<size_t> eligible;  // entries[i] <- prefill_queue index
         entries.reserve(prefill_queue.size());
-        for (const PendingPrefill& pending : prefill_queue) {
+        for (size_t qi = 0; qi < prefill_queue.size(); ++qi) {
+            const PendingPrefill& pending = prefill_queue[qi];
             const RequestRecord& record =
                 result.records[static_cast<size_t>(pending.id)];
+            // A first chunk reserves the whole prompt's pages up front;
+            // skip candidates the pool cannot hold right now (they stay
+            // queued until retirements or evictions free pages). Requests
+            // already mid-prefill hold their reservation and stay eligible.
+            if (kv_bounded && pending.next_chunk == 0 &&
+                pages_for(record.request.prompt_len) > kv_free) {
+                continue;
+            }
             QueueEntry entry;
             entry.request_id = pending.id;
             entry.arrival_ms = record.request.arrival_ms;
@@ -133,14 +199,24 @@ ServingSimulator::Run()
                 pending.profile->decode_token_ms *
                     record.request.output_len;
             entries.push_back(entry);
+            eligible.push_back(qi);
         }
-        const size_t pick = PickNext(options_.policy, entries, now);
+        if (entries.empty()) return;  // backpressured: NPU idles for pages
+        const size_t pick =
+            eligible[PickNext(options_.policy, entries, now)];
         npu_job = prefill_queue[pick];
         prefill_queue.erase(prefill_queue.begin() +
                             static_cast<long>(pick));
         RequestRecord& record =
             result.records[static_cast<size_t>(npu_job.id)];
-        if (npu_job.next_chunk == 0) record.first_dispatch_ms = now;
+        if (npu_job.next_chunk == 0) {
+            // Queueing delay is measured to the *first ever* dispatch; an
+            // eviction's re-prefill must not reset it.
+            if (record.first_dispatch_ms < 0.0) {
+                record.first_dispatch_ms = now;
+            }
+            kv_take(npu_job.id, pages_for(record.request.prompt_len));
+        }
         const double duration =
             npu_job.profile->chunk_ms[static_cast<size_t>(
                 npu_job.next_chunk)];
@@ -225,6 +301,7 @@ ServingSimulator::Run()
                                    decode_rate();
             step_last_update = t_next;
         }
+        kv_integral += static_cast<double>(kv_used) * (t_next - now);
         now = t_next;
         result.makespan_ms = std::max(result.makespan_ms, now);
 
@@ -286,11 +363,16 @@ ServingSimulator::Run()
                 RequestRecord& record =
                     result.records[static_cast<size_t>(id)];
                 ++record.tokens_out;
-                if (record.tokens_out == 1) record.first_token_ms = now;
+                // TTFT is to the first token *ever* emitted; an evicted
+                // request's re-decode must not reset it.
+                if (record.tokens_out == 1 && record.first_token_ms < 0.0) {
+                    record.first_token_ms = now;
+                }
                 if (record.tokens_out >= record.request.output_len) {
                     record.finish_ms = now;
                     decode_pool.erase(std::find(decode_pool.begin(),
                                                 decode_pool.end(), id));
+                    kv_drop_all(id);
                     if (options_.closed_loop &&
                         issued < options_.num_requests) {
                         client_wakeups.push_back(now +
@@ -299,11 +381,113 @@ ServingSimulator::Run()
                     }
                 }
             }
+            // KV growth for the members that stay in the pool: each just
+            // appended one position. Under a bounded pool, growth past
+            // the free pages preempts other page holders — preemption by
+            // recompute (pages released, prefill restarted from chunk 0).
+            //
+            // Victim order is what makes this terminate: (1) decode-pool
+            // members strictly *younger* than the grower, youngest first;
+            // (2) queued mid-prefill reservations; (3) the in-flight
+            // chunk; (4) the grower itself, only when members older than
+            // it hold the pages. The oldest decode member is thus never
+            // evicted — victims are always younger than whoever demands
+            // the pages — so it always reaches completion and frees its
+            // pages, and by induction every request eventually does.
+            // (Evicting victims *older* than the grower would livelock:
+            // two requests whose reservations overlap can ping-pong
+            // evictions forever, neither ever finishing.)
+            auto evict_one_for = [&](int grower) {
+                auto requeue = [&](int victim) {
+                    kv_drop_all(victim);
+                    RequestRecord& vrec =
+                        result.records[static_cast<size_t>(victim)];
+                    vrec.tokens_out = 0;
+                    vrec.prefill_done_ms = -1.0;
+                    ++vrec.evictions;
+                    ++result.evictions;
+                };
+                const auto grower_at = std::find(decode_pool.begin(),
+                                                 decode_pool.end(), grower);
+                for (size_t j = decode_pool.size();
+                     j-- > 0 &&
+                     static_cast<long>(j) > grower_at - decode_pool.begin();) {
+                    const int victim = decode_pool[j];
+                    decode_pool.erase(decode_pool.begin() +
+                                      static_cast<long>(j));
+                    requeue(victim);
+                    PendingPrefill again;
+                    again.id = victim;
+                    again.profile =
+                        &costs_.Costs(result.records[static_cast<size_t>(
+                            victim)].request.AsInference());
+                    prefill_queue.push_back(again);
+                    return true;
+                }
+                for (size_t j = prefill_queue.size(); j-- > 0;) {
+                    PendingPrefill& pending = prefill_queue[j];
+                    if (pending.next_chunk == 0) continue;  // holds no pages
+                    requeue(pending.id);
+                    pending.next_chunk = 0;  // recompute from chunk 0
+                    return true;
+                }
+                if (npu_busy && npu_job.id != grower) {
+                    // Cancel the in-flight chunk. Its partial execution is
+                    // discarded untimed (no trace task, full duration
+                    // backed out of npu_busy_ms) so trace busy-time
+                    // conservation and the trace↔replay parallelism hold.
+                    result.npu_busy_ms -= npu_end - npu_start;
+                    npu_busy = false;
+                    requeue(npu_job.id);
+                    npu_job.next_chunk = 0;
+                    prefill_queue.push_back(npu_job);
+                    return true;
+                }
+                return false;
+            };
+            for (int id : step_members) {
+                if (std::find(decode_pool.begin(), decode_pool.end(), id) ==
+                    decode_pool.end()) {
+                    continue;  // finished, or evicted by an earlier member
+                }
+                const RequestRecord& record =
+                    result.records[static_cast<size_t>(id)];
+                const int64_t needed = pages_for(
+                    static_cast<int64_t>(record.request.prompt_len) +
+                    record.tokens_out);
+                int64_t delta = needed - kv_held[static_cast<size_t>(id)];
+                if (delta <= 0) continue;
+                while (kv_bounded && delta > kv_free) {
+                    if (evict_one_for(id)) continue;
+                    // Only holders older than the grower remain: the
+                    // grower itself is preempted and recomputes later.
+                    decode_pool.erase(std::find(decode_pool.begin(),
+                                                decode_pool.end(), id));
+                    kv_drop_all(id);
+                    RequestRecord& vrec =
+                        result.records[static_cast<size_t>(id)];
+                    vrec.tokens_out = 0;
+                    vrec.prefill_done_ms = -1.0;
+                    ++vrec.evictions;
+                    ++result.evictions;
+                    PendingPrefill again;
+                    again.id = id;
+                    again.profile = &costs_.Costs(vrec.request.AsInference());
+                    prefill_queue.push_back(again);
+                    delta = 0;
+                    break;
+                }
+                if (delta > 0) kv_take(id, delta);
+            }
             step_members.clear();
         }
 
         start_chunk_if_idle();
         start_step_if_idle();
+    }
+
+    if (result.makespan_ms > 0.0) {
+        result.kv_pages_mean = kv_integral / result.makespan_ms;
     }
 
     // ---- Finalize the execution trace as a TimelineResult so the shared

@@ -20,6 +20,7 @@
 #ifndef LLMNPU_SERVING_SIMULATOR_H
 #define LLMNPU_SERVING_SIMULATOR_H
 
+#include <cstdint>
 #include <vector>
 
 #include "src/serving/cost_model.h"
@@ -57,6 +58,25 @@ struct ServingOptions {
      *  (weights are streamed once per step; extra activations are cheap).
      *  Step time = token_ms * (1 + (B-1) * this). */
     double decode_batch_marginal = 0.15;
+
+    /**
+     * KV page pool budget in pages (the serving-side mirror of
+     * KvPagePool's max_pages); 0 = unbounded, the legacy behavior. A
+     * bounded pool turns KV memory into a scheduled resource:
+     *  - arrival: a request whose whole demand (prompt + output pages)
+     *    exceeds the budget is rejected outright — it could never run;
+     *  - first chunk dispatch: the prompt's pages are reserved, and a
+     *    request that does not fit right now stays queued (backpressure,
+     *    not rejection);
+     *  - decode: page growth past the reservation evicts the youngest
+     *    decode-pool member (pages released, prefill restarted), the
+     *    paper's preemption-by-recompute under memory pressure.
+     */
+    int64_t kv_pool_pages = 0;
+    /** Positions per KV page for the admission/eviction arithmetic; must
+     *  match the numeric plane's PagedKvOptions::page_size for honest
+     *  accounting. */
+    int64_t kv_page_size = 16;
 };
 
 /**
@@ -87,6 +107,16 @@ struct ServingResult {
     double decode_busy_ms = 0.0;
     /** Decode steps slowed by an incoming prefill chunk. */
     int preemptions = 0;
+    /** Requests refused at arrival by KV admission control. */
+    int rejected = 0;
+    /** KV-page eviction preemptions across the run. */
+    int evictions = 0;
+    /** Pool budget the run was configured with (0 = unbounded). */
+    int64_t kv_pool_pages = 0;
+    /** Peak pages in use over the run. */
+    int64_t kv_pages_peak = 0;
+    /** Time-mean pages in use over the makespan. */
+    double kv_pages_mean = 0.0;
 
     /** Executed quanta (chunks on the NPU, decode steps on the CPU) with
      *  their realized start/end times, for schedule-validity checks.

@@ -71,11 +71,13 @@ GeoMean(const std::vector<double>& xs)
     return std::exp(log_sum / static_cast<double>(xs.size()));
 }
 
-/** Linear-interpolated percentile, p in [0, 100]. Sorts a copy. */
+/** Linear-interpolated percentile, p in [0, 100]. Sorts a copy. An empty
+ *  sample is a legitimate aggregate (e.g. an all-rejected serving trace)
+ *  and yields a well-defined 0.0, never NaN or a panic. */
 inline double
 Percentile(std::vector<double> xs, double p)
 {
-    LLMNPU_CHECK(!xs.empty());
+    if (xs.empty()) return 0.0;
     LLMNPU_CHECK_GE(p, 0.0);
     LLMNPU_CHECK_LE(p, 100.0);
     std::sort(xs.begin(), xs.end());

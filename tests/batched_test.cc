@@ -36,16 +36,17 @@ namespace {
 
 TEST(BatchedKvCacheTest, SlotsAreIndependent)
 {
-    BatchedKvCache cache(2, 8, 2);
+    BatchedKvCache cache(2, 8, 2, PagedKvOptions{/*page_size=*/4});
     ASSERT_EQ(cache.num_sequences(), 2);
     Tensor k = Tensor::Full({3, 8}, 1.0f);
     Tensor v = Tensor::Full({3, 8}, 2.0f);
-    cache.Sequence(0).Append(0, k, v);
-    cache.Sequence(0).Append(1, k, v);
+    cache.Append(0, 0, k, v);
+    cache.Append(0, 1, k, v);
     EXPECT_EQ(cache.SeqLen(0), 3);
     EXPECT_EQ(cache.SeqLen(1), 0);
-    // k + v, both layers of slot 0, 3 rows x kv_dim 8 x 4 bytes.
-    EXPECT_EQ(cache.SizeBytes(), 2 * 2 * 3 * 8 * 4);
+    // 3 positions at page_size 4 is one page: k + v, both layers, 4 rows
+    // of kv_dim 8 floats each (page-granular accounting, not row-exact).
+    EXPECT_EQ(cache.SizeBytes(), 2 * 2 * 4 * 8 * 4);
     EXPECT_EQ(cache.AddSequence(), 2);
     EXPECT_EQ(cache.num_sequences(), 3);
 }

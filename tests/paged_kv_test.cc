@@ -1,0 +1,565 @@
+/**
+ * @file
+ * Paged KV subsystem tests (CTest label `paged-kv`).
+ *
+ * Covers the KvPagePool allocator (free-list reuse, bounded exhaustion,
+ * refcounted prefix sharing), the paged BatchedKvCache (page-table reuse
+ * after retirement, CanAppend backpressure, retired-slot access), the
+ * fused PagedCausalAttention kernel (bitwise equality to the per-sequence
+ * reference and 1/2/4-thread determinism), B=64 ragged batched forward vs
+ * sequential, the serving layer's KV admission/eviction model (including
+ * eviction-then-readmit bitwise replay), and the empty-input guards of the
+ * metrics path (Percentile, all-rejected reports, config validation).
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "src/core/llmnpu_engine.h"
+#include "src/model/batched_kv_cache.h"
+#include "src/model/kv_page_pool.h"
+#include "src/model/paged_attention.h"
+#include "src/model/weights.h"
+#include "src/serving/replay.h"
+#include "src/serving/simulator.h"
+#include "src/tensor/ops.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+#include "src/util/threadpool.h"
+#include "src/workloads/datasets.h"
+#include "tests/support/tiny_model.h"
+#include "tests/support/token_streams.h"
+
+namespace llmnpu {
+namespace {
+
+Tensor
+RandomTensor(Rng& rng, int64_t rows, int64_t cols)
+{
+    Tensor t({rows, cols}, DType::kF32);
+    float* p = t.Data<float>();
+    for (int64_t i = 0; i < t.NumElements(); ++i) {
+        p[i] = static_cast<float>(rng.Normal(0.0, 1.0));
+    }
+    return t;
+}
+
+bool
+BitwiseEqual(const Tensor& a, const Tensor& b)
+{
+    return a.shape() == b.shape() &&
+           std::memcmp(a.Data<float>(), b.Data<float>(),
+                       static_cast<size_t>(a.NumElements()) *
+                           sizeof(float)) == 0;
+}
+
+// ------------------------------------------------------------- KvPagePool
+
+TEST(KvPagePoolTest, FreeListRecyclesReleasedPagesLifo)
+{
+    KvPagePool pool(2, 8, PagedKvOptions{/*page_size=*/4});
+    const int64_t a = pool.AllocPage();
+    const int64_t b = pool.AllocPage();
+    const int64_t c = pool.AllocPage();
+    EXPECT_EQ(pool.used_pages(), 3);
+    EXPECT_EQ(pool.allocated_pages(), 3);
+
+    pool.Release(a);
+    pool.Release(c);
+    EXPECT_EQ(pool.used_pages(), 1);
+    EXPECT_EQ(pool.free_pages(), 2);
+    // LIFO: the most recently released page comes back first, and no new
+    // physical storage is allocated while the free list can serve.
+    EXPECT_EQ(pool.AllocPage(), c);
+    EXPECT_EQ(pool.AllocPage(), a);
+    EXPECT_EQ(pool.allocated_pages(), 3);
+    pool.Release(a);
+    pool.Release(b);
+    pool.Release(c);
+    EXPECT_EQ(pool.used_pages(), 0);
+    EXPECT_EQ(pool.SizeBytes(), 0);
+    EXPECT_EQ(pool.CapacityBytes(), 3 * pool.PageBytes());
+}
+
+TEST(KvPagePoolTest, BoundedPoolExhaustsInsteadOfGrowing)
+{
+    KvPagePool pool(1, 4, PagedKvOptions{/*page_size=*/2, /*max_pages=*/2});
+    EXPECT_EQ(pool.free_pages(), 2);
+    const int64_t a = pool.AllocPage();
+    const int64_t b = pool.AllocPage();
+    ASSERT_GE(a, 0);
+    ASSERT_GE(b, 0);
+    EXPECT_EQ(pool.free_pages(), 0);
+    EXPECT_EQ(pool.AllocPage(), -1);  // exhausted, never silent growth
+    pool.Release(a);
+    EXPECT_EQ(pool.free_pages(), 1);
+    EXPECT_EQ(pool.AllocPage(), a);
+}
+
+TEST(KvPagePoolTest, RefcountedSharingKeepsPagesAlive)
+{
+    KvPagePool pool(1, 4, PagedKvOptions{/*page_size=*/2});
+    const int64_t page = pool.AllocPage();
+    pool.AddRef(page);
+    EXPECT_EQ(pool.RefCount(page), 2);
+    pool.Release(page);
+    EXPECT_EQ(pool.RefCount(page), 1);  // still held by the other owner
+    EXPECT_EQ(pool.used_pages(), 1);
+    pool.Release(page);
+    EXPECT_EQ(pool.used_pages(), 0);
+}
+
+// --------------------------------------------------- paged BatchedKvCache
+
+TEST(PagedKvCacheTest, PageTableReuseAfterRetirement)
+{
+    BatchedKvCache cache(2, 8, 0, PagedKvOptions{/*page_size=*/4});
+    const int a = cache.AddSequence();
+    Tensor k = Tensor::Full({6, 8}, 1.0f);  // 6 positions -> 2 pages
+    Tensor v = Tensor::Full({6, 8}, 2.0f);
+    for (int l = 0; l < 2; ++l) cache.Append(a, l, k, v);
+    const std::vector<int64_t> a_pages = cache.PageTable(a);
+    ASSERT_EQ(a_pages.size(), 2u);
+    EXPECT_EQ(cache.pool().used_pages(), 2);
+
+    cache.RetireSequence(a);
+    EXPECT_TRUE(cache.IsRetired(a));
+    EXPECT_EQ(cache.live_sequences(), 0);
+    EXPECT_EQ(cache.pool().used_pages(), 0);
+
+    // A new sequence recycles the retired sequence's physical pages (LIFO
+    // free list), with no new storage allocated.
+    const int b = cache.AddSequence();
+    EXPECT_NE(b, a);  // slot indices are never reused
+    Tensor k2 = Tensor::Full({8, 8}, 3.0f);
+    Tensor v2 = Tensor::Full({8, 8}, 4.0f);
+    for (int l = 0; l < 2; ++l) cache.Append(b, l, k2, v2);
+    const std::vector<int64_t>& b_pages = cache.PageTable(b);
+    ASSERT_EQ(b_pages.size(), 2u);
+    EXPECT_EQ(b_pages[0], a_pages[1]);
+    EXPECT_EQ(b_pages[1], a_pages[0]);
+    EXPECT_EQ(cache.pool().allocated_pages(), 2);
+
+    // The recycled pages hold the new sequence's data, not the old.
+    Tensor keys = cache.Keys(b, 0);
+    for (int64_t i = 0; i < keys.NumElements(); ++i) {
+        ASSERT_EQ(keys.Data<float>()[i], 3.0f);
+    }
+}
+
+TEST(PagedKvCacheTest, PrefixSharingSharesWholePagesRefcounted)
+{
+    BatchedKvCache cache(1, 4, 0, PagedKvOptions{/*page_size=*/4});
+    const int src = cache.AddSequence();
+    Rng rng(11);
+    Tensor k = RandomTensor(rng, 10, 4);  // 10 positions -> 3 pages
+    Tensor v = RandomTensor(rng, 10, 4);
+    cache.Append(src, 0, k, v);
+
+    // Fork sharing the first 8 positions (= 2 whole pages).
+    const int fork = cache.AddSequenceSharingPrefix(src, 8);
+    EXPECT_EQ(cache.SeqLen(fork), 8);
+    EXPECT_EQ(cache.PageTable(fork)[0], cache.PageTable(src)[0]);
+    EXPECT_EQ(cache.PageTable(fork)[1], cache.PageTable(src)[1]);
+    EXPECT_EQ(cache.pool().RefCount(cache.PageTable(src)[0]), 2);
+    EXPECT_EQ(cache.pool().used_pages(), 3);  // shared pages counted once
+
+    // The fork's continuation lands in its own fresh page; the source's
+    // view of the shared prefix is untouched.
+    Tensor k2 = RandomTensor(rng, 1, 4);
+    Tensor v2 = RandomTensor(rng, 1, 4);
+    cache.Append(fork, 0, k2, v2);
+    EXPECT_EQ(cache.SeqLen(fork), 9);
+    EXPECT_NE(cache.PageTable(fork)[2], cache.PageTable(src)[2]);
+    Tensor src_keys = cache.Keys(src, 0);
+    EXPECT_TRUE(BitwiseEqual(src_keys, k));
+
+    // Retiring the source keeps the shared pages alive for the fork.
+    cache.RetireSequence(src);
+    EXPECT_EQ(cache.pool().RefCount(cache.PageTable(fork)[0]), 1);
+    Tensor fork_keys = cache.Keys(fork, 0);
+    EXPECT_EQ(fork_keys.Rows(), 9);
+    EXPECT_EQ(std::memcmp(fork_keys.Data<float>(), k.Data<float>(),
+                          8 * 4 * sizeof(float)),
+              0);
+}
+
+TEST(PagedKvCacheTest, CanAppendReflectsPoolBudget)
+{
+    BatchedKvCache cache(1, 4, 0,
+                         PagedKvOptions{/*page_size=*/4, /*max_pages=*/2});
+    const int seq = cache.AddSequence();
+    EXPECT_TRUE(cache.CanAppend(seq, 8));    // exactly the budget
+    EXPECT_FALSE(cache.CanAppend(seq, 9));   // would need a third page
+    Tensor k = Tensor::Full({5, 4}, 1.0f);
+    Tensor v = Tensor::Full({5, 4}, 2.0f);
+    cache.Append(seq, 0, k, v);
+    EXPECT_TRUE(cache.CanAppend(seq, 3));    // fits the mapped pages
+    EXPECT_FALSE(cache.CanAppend(seq, 4));   // spills past the budget
+}
+
+TEST(PagedKvCacheDeathTest, RetiredSlotAccessPanics)
+{
+    BatchedKvCache cache(1, 4, 1, PagedKvOptions{/*page_size=*/4});
+    Tensor k = Tensor::Full({1, 4}, 1.0f);
+    Tensor v = Tensor::Full({1, 4}, 2.0f);
+    cache.Append(0, 0, k, v);
+    cache.RetireSequence(0);
+    EXPECT_DEATH(cache.Append(0, 0, k, v), "CHECK failed");
+    EXPECT_DEATH(cache.SeqLen(0), "CHECK failed");
+}
+
+TEST(PagedKvCacheDeathTest, BoundedExhaustionOnAppendPanics)
+{
+    BatchedKvCache cache(1, 4, 1,
+                         PagedKvOptions{/*page_size=*/2, /*max_pages=*/1});
+    Tensor k = Tensor::Full({3, 4}, 1.0f);
+    Tensor v = Tensor::Full({3, 4}, 2.0f);
+    ASSERT_FALSE(cache.CanAppend(0, 3));
+    EXPECT_DEATH(cache.Append(0, 0, k, v), "CHECK failed");
+}
+
+// ------------------------------------------------- fused paged attention
+
+/** Builds a ragged multi-sequence paged cache plus stacked q for layer 0,
+ *  returning everything PagedCausalAttention needs. */
+struct AttentionScenario {
+    BatchedKvCache cache;
+    Tensor q;
+    std::vector<int64_t> segments;
+    std::vector<int> seqs;
+    std::vector<int64_t> pos_offsets;
+    int num_heads;
+    int num_kv_heads;
+
+    AttentionScenario(int num_heads_in, int num_kv_heads_in, int head_dim,
+                      const std::vector<std::pair<int64_t, int64_t>>&
+                          history_and_step,
+                      uint64_t seed)
+        : cache(1, static_cast<int64_t>(num_kv_heads_in) * head_dim, 0,
+                PagedKvOptions{/*page_size=*/4}),
+          num_heads(num_heads_in),
+          num_kv_heads(num_kv_heads_in)
+    {
+        Rng rng(seed);
+        const int64_t kv_dim =
+            static_cast<int64_t>(num_kv_heads) * head_dim;
+        segments.push_back(0);
+        for (const auto& [history, step_rows] : history_and_step) {
+            const int seq = cache.AddSequence();
+            if (history > 0) {
+                cache.Append(seq, 0, RandomTensor(rng, history, kv_dim),
+                             RandomTensor(rng, history, kv_dim));
+            }
+            cache.Append(seq, 0, RandomTensor(rng, step_rows, kv_dim),
+                         RandomTensor(rng, step_rows, kv_dim));
+            seqs.push_back(seq);
+            pos_offsets.push_back(history);
+            segments.push_back(segments.back() + step_rows);
+        }
+        q = RandomTensor(rng, segments.back(),
+                         static_cast<int64_t>(num_heads) * head_dim);
+    }
+
+    Tensor Run() const
+    {
+        return PagedCausalAttention(q, segments, seqs, pos_offsets, cache,
+                                    /*layer=*/0, num_heads, num_kv_heads);
+    }
+
+    /** The old per-sequence path: dense K/V materialization + the
+     *  reference CausalAttention, pasted back segment by segment. */
+    Tensor RunReference() const
+    {
+        Tensor out({q.Rows(), q.Cols()}, DType::kF32);
+        for (size_t i = 0; i + 1 < segments.size(); ++i) {
+            const int64_t r0 = segments[i];
+            const int64_t rows = segments[i + 1] - r0;
+            Tensor attn = CausalAttention(
+                q.CopyRows(r0, rows), cache.Keys(seqs[i], 0),
+                cache.Values(seqs[i], 0), num_heads, num_kv_heads,
+                pos_offsets[i]);
+            out.PasteRows(attn, r0);
+        }
+        return out;
+    }
+};
+
+TEST(PagedAttentionTest, MatchesPerSequenceReferenceBitwise)
+{
+    // Ragged mix of fresh prefill, chunked prefill and decode, with GQA
+    // (4 heads over 2 KV heads) and histories crossing page boundaries.
+    AttentionScenario scenario(
+        /*num_heads=*/4, /*num_kv_heads=*/2, /*head_dim=*/16,
+        {{0, 5}, {7, 3}, {12, 1}, {3, 1}}, /*seed=*/23);
+    EXPECT_TRUE(BitwiseEqual(scenario.Run(), scenario.RunReference()));
+}
+
+TEST(PagedAttentionTest, MhaAndMqaLayoutsMatchReference)
+{
+    AttentionScenario mha(/*num_heads=*/4, /*num_kv_heads=*/4,
+                          /*head_dim=*/8, {{9, 2}, {0, 6}}, /*seed=*/31);
+    EXPECT_TRUE(BitwiseEqual(mha.Run(), mha.RunReference()));
+    AttentionScenario mqa(/*num_heads=*/4, /*num_kv_heads=*/1,
+                          /*head_dim=*/8, {{4, 4}, {17, 1}}, /*seed=*/37);
+    EXPECT_TRUE(BitwiseEqual(mqa.Run(), mqa.RunReference()));
+}
+
+TEST(PagedAttentionTest, BitwiseDeterministicAcrossThreadCounts)
+{
+    AttentionScenario scenario(
+        /*num_heads=*/8, /*num_kv_heads=*/4, /*head_dim=*/16,
+        {{0, 12}, {21, 1}, {5, 7}, {33, 1}, {2, 2}}, /*seed=*/41);
+    Tensor at1, at2, at4;
+    {
+        ScopedNumThreads threads(1);
+        at1 = scenario.Run();
+    }
+    {
+        ScopedNumThreads threads(2);
+        at2 = scenario.Run();
+    }
+    {
+        ScopedNumThreads threads(4);
+        at4 = scenario.Run();
+    }
+    EXPECT_TRUE(BitwiseEqual(at1, at2));
+    EXPECT_TRUE(BitwiseEqual(at1, at4));
+    EXPECT_TRUE(BitwiseEqual(at1, scenario.RunReference()));
+}
+
+// ----------------------------------------- B=64 ragged batch, end to end
+
+class PagedForwardTest : public TinyModelTest
+{};
+
+TEST_F(PagedForwardTest, B64RaggedBatchMatchesSequentialBitwise)
+{
+    const int kBatch = 64;
+    const int vocab = tiny_.config.vocab_size;
+    Fp32LinearExecutor linears(tiny_.weights);
+
+    // Ragged prefill (1..4 tokens per sequence) then two full-width decode
+    // steps: the m=64 stacked matmul plus 64*heads attention tiles.
+    std::vector<std::vector<std::vector<int>>> groups(kBatch);
+    std::vector<int> cursor(kBatch, 0);
+    BatchedKvCache cache = tiny_.model.MakeBatchedCache();
+    std::vector<std::vector<float>> batched_rows(kBatch);
+    for (int step = 0; step < 3; ++step) {
+        std::vector<BatchSeq> batch;
+        for (int s = 0; s < kBatch; ++s) {
+            const int count = step == 0 ? 1 + s % 4 : 1;
+            std::vector<int> tokens;
+            for (int i = 0; i < count; ++i) {
+                tokens.push_back(TestTokenAt(s, cursor[s]++, vocab));
+            }
+            groups[s].push_back(tokens);
+            if (step == 0) {
+                batch.push_back({cache.AddSequence(), std::move(tokens)});
+            } else {
+                batch.push_back({s, std::move(tokens)});
+            }
+        }
+        Tensor hidden = tiny_.model.ForwardBatch(batch, cache, linears);
+        int64_t row = 0;
+        for (int s = 0; s < kBatch; ++s) {
+            const int64_t rows =
+                static_cast<int64_t>(batch[static_cast<size_t>(s)]
+                                         .tokens.size());
+            Tensor h = hidden.CopyRows(row, rows);
+            batched_rows[static_cast<size_t>(s)].insert(
+                batched_rows[static_cast<size_t>(s)].end(),
+                h.Data<float>(), h.Data<float>() + h.NumElements());
+            row += rows;
+        }
+    }
+
+    for (int s = 0; s < kBatch; ++s) {
+        KvCache solo = tiny_.model.MakeCache();
+        std::vector<float> ref;
+        for (const std::vector<int>& tokens :
+             groups[static_cast<size_t>(s)]) {
+            Tensor h = tiny_.model.Forward(tokens, solo, linears);
+            ref.insert(ref.end(), h.Data<float>(),
+                       h.Data<float>() + h.NumElements());
+        }
+        ASSERT_EQ(ref.size(), batched_rows[static_cast<size_t>(s)].size());
+        ASSERT_EQ(std::memcmp(ref.data(),
+                              batched_rows[static_cast<size_t>(s)].data(),
+                              ref.size() * sizeof(float)),
+                  0)
+            << "sequence " << s
+            << ": B=64 batched hidden states differ from sequential";
+    }
+}
+
+// ------------------------------------- serving: KV admission and eviction
+
+class PagedServingTest : public PaperDeviceTest
+{
+  protected:
+    ServingResult
+    RunBounded(int64_t pool_pages, int num_requests, double rate_rps,
+               std::vector<DatasetProfile> mix = {PersonaChatProfile()})
+    {
+        LlmNpuEngine engine;
+        ServingCostModel costs(engine, qwen_, soc_);
+        ServingOptions options;
+        options.policy = SchedPolicy::kFcfs;
+        options.num_requests = num_requests;
+        options.rate_rps = rate_rps;
+        options.seed = 9;
+        options.kv_pool_pages = pool_pages;
+        options.kv_page_size = 16;
+        return ServingSimulator(costs, std::move(mix), options).Run();
+    }
+};
+
+TEST_F(PagedServingTest, BoundedPoolNeverExceedsBudgetAndCompletes)
+{
+    const ServingResult result = RunBounded(/*pool_pages=*/90,
+                                            /*num_requests=*/12,
+                                            /*rate_rps=*/50.0);
+    EXPECT_EQ(result.rejected, 0);  // PersonaChat demand fits 90 pages
+    EXPECT_LE(result.kv_pages_peak, 90);
+    EXPECT_GT(result.kv_pages_peak, 0);
+    EXPECT_GT(result.kv_pages_mean, 0.0);
+    EXPECT_LE(result.kv_pages_mean,
+              static_cast<double>(result.kv_pages_peak));
+    for (const RequestRecord& record : result.records) {
+        EXPECT_TRUE(record.Completed()) << "request " << record.request.id;
+    }
+}
+
+TEST_F(PagedServingTest, EvictionThenReadmitReplaysBitwise)
+{
+    // Shrink the pool until decode growth forces evictions (deterministic
+    // per seed, so the chosen size is stable once found).
+    ServingResult result;
+    bool found = false;
+    for (int64_t pool : {70, 60, 50, 45, 42}) {
+        result = RunBounded(pool, /*num_requests=*/10, /*rate_rps=*/100.0);
+        if (result.evictions > 0) {
+            found = true;
+            break;
+        }
+    }
+    ASSERT_TRUE(found) << "no pool size under test produced an eviction";
+    for (const RequestRecord& record : result.records) {
+        if (!record.rejected) {
+            EXPECT_TRUE(record.Completed());
+        }
+    }
+
+    // The eviction's recompute must be invisible to the numeric plane: the
+    // replayed trace (pages released, prefill re-run from chunk 0) is
+    // bitwise identical to the uninterrupted solo run of every sequence.
+    const TinyModelContext& tiny = SharedTinyModel();
+    Fp32LinearExecutor linears(tiny.weights);
+    const ReplayOutcome outcome = ReplayServingTrace(
+        result.replay_steps, result.records, tiny.model, linears);
+    EXPECT_TRUE(outcome.bitwise_match) << outcome.first_mismatch;
+    EXPECT_GT(outcome.prefill_steps, 0);
+}
+
+TEST_F(PagedServingTest, OversizedRequestsAreRejectedNotStarved)
+{
+    // 10 pages * 16 positions = 160 positions: every PersonaChat request
+    // (prompt >= 488) is rejected at arrival; the run still terminates and
+    // reports well-defined (finite, non-NaN) aggregates.
+    const ServingResult result = RunBounded(/*pool_pages=*/10,
+                                            /*num_requests=*/6,
+                                            /*rate_rps=*/20.0);
+    EXPECT_EQ(result.rejected, 6);
+    EXPECT_EQ(result.kv_pages_peak, 0);
+
+    const ServingReport report = result.Report();
+    EXPECT_EQ(report.admitted, 0);
+    EXPECT_EQ(report.rejected, 6);
+    EXPECT_EQ(report.completed, 0);
+    const double fields[] = {
+        report.throughput_rps, report.goodput_rps,  report.slo_attainment,
+        report.ttft_p50_ms,    report.ttft_p95_ms,  report.ttft_p99_ms,
+        report.e2e_p50_ms,     report.e2e_p95_ms,   report.e2e_p99_ms,
+        report.tpot_mean_ms,   report.queueing_mean_ms,
+        report.npu_utilization, report.decode_utilization,
+        report.decode_tokens_per_sec, report.kv_pages_mean,
+    };
+    for (double f : fields) {
+        EXPECT_TRUE(std::isfinite(f)) << report.Summary();
+        EXPECT_EQ(f, 0.0);
+    }
+    EXPECT_FALSE(report.Summary().empty());
+}
+
+TEST_F(PagedServingTest, ClosedLoopAllRejectedStillTerminates)
+{
+    LlmNpuEngine engine;
+    ServingCostModel costs(engine, qwen_, soc_);
+    ServingOptions options;
+    options.closed_loop = true;
+    options.num_clients = 3;
+    options.think_time_ms = 5.0;
+    options.num_requests = 9;
+    options.seed = 5;
+    options.kv_pool_pages = 4;  // nothing fits
+    options.kv_page_size = 16;
+    const ServingResult result =
+        ServingSimulator(costs, {PersonaChatProfile()}, options).Run();
+    EXPECT_EQ(result.rejected, 9);  // every client retried to the cap
+    EXPECT_EQ(static_cast<int>(result.records.size()), 9);
+}
+
+// ----------------------------------------------- empty-input bug guards
+
+TEST(StatsTest, PercentileOfEmptySampleIsZeroNotNan)
+{
+    EXPECT_EQ(Percentile({}, 50.0), 0.0);
+    EXPECT_EQ(Percentile({}, 99.0), 0.0);
+    EXPECT_EQ(Percentile({7.0}, 50.0), 7.0);
+}
+
+TEST(StatsTest, EmptyRecordSetBuildsAllZeroReport)
+{
+    const ServingReport report = BuildReport({}, 0.0, 0.0, 0.0, 0);
+    EXPECT_EQ(report.admitted, 0);
+    EXPECT_EQ(report.completed, 0);
+    EXPECT_TRUE(std::isfinite(report.ttft_p99_ms));
+    EXPECT_EQ(report.throughput_rps, 0.0);
+    EXPECT_EQ(report.slo_attainment, 0.0);
+}
+
+TEST(ConfigValidateDeathTest, TruncatingHeadDimFailsLoudly)
+{
+    ModelConfig bad = TinyTestConfig();
+    bad.hidden_size = 100;
+    bad.num_heads = 3;  // 100 / 3 truncates: head_dim can't be exact
+    EXPECT_DEATH(GenerateSyntheticWeights(bad), "CHECK failed");
+}
+
+TEST(ConfigValidateDeathTest, MismatchedHeadDimFailsLoudly)
+{
+    ModelConfig bad = TinyTestConfig();
+    bad.head_dim = 8;  // hidden 64 / 4 heads = 16, not 8
+    EXPECT_DEATH(GenerateSyntheticWeights(bad), "CHECK failed");
+}
+
+TEST(ConfigValidateDeathTest, RaggedGqaGroupsFailLoudly)
+{
+    ModelConfig bad = TinyTestConfig();
+    bad.num_kv_heads = 3;  // 4 heads % 3 kv heads != 0
+    EXPECT_DEATH(GenerateSyntheticWeights(bad), "CHECK failed");
+}
+
+TEST(ConfigValidateTest, PaperModelsAllValidate)
+{
+    for (const ModelConfig& config : PaperModels()) {
+        config.Validate();  // must not panic
+    }
+    TinyTestConfig().Validate();
+}
+
+}  // namespace
+}  // namespace llmnpu
