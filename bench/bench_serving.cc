@@ -12,12 +12,24 @@
  * Machine-readable rows are emitted as "METRIC {json}" lines, which
  * bench/run_all.cc folds into BENCH_results.json (schema llmnpu-bench-v2).
  * LLMNPU_SERVING_SMOKE=1 shrinks the sweep for CI smoke runs.
+ *
+ * `--trace [PATH]` (or LLMNPU_TRACE_FILE=PATH, exported by
+ * `run_all --trace`) additionally runs one dedicated traced scenario —
+ * a small fcfs sim whose schedule is replayed on a tiny real model, so
+ * both tracer planes are populated — and writes the Chrome trace-event
+ * JSON to PATH (default serving_trace.json). The sweeps above stay
+ * untraced: their numbers feed the perf trajectory and must not carry
+ * tracer ring writes.
  */
 #include <cstdlib>
+#include <cstring>
 
 #include "bench/bench_util.h"
 #include "src/core/llmnpu_engine.h"
+#include "src/obs/trace.h"
+#include "src/serving/replay.h"
 #include "src/serving/simulator.h"
+#include "src/workloads/corpus.h"
 
 namespace llmnpu {
 namespace {
@@ -47,8 +59,52 @@ EmitMetric(const char* mode, SchedPolicy policy, double load_rps,
         report.e2e_p99_ms, report.npu_utilization, report.preemptions);
 }
 
+/** The `--trace` scenario: a small fcfs run traced end to end (simulator
+ *  virtual-time plane + tiny-model replay wall-clock plane, connected by
+ *  request ids) and exported as Perfetto-loadable JSON. */
 void
-Run()
+RunTracedScenario(const char* path, ServingCostModel& costs,
+                  const std::vector<DatasetProfile>& mix)
+{
+    std::printf("\nTraced scenario: fcfs sim + tiny-model replay -> %s\n",
+                path);
+    obs::Tracer& tracer = obs::Tracer::Global();
+    tracer.Enable();
+    tracer.Reset();
+
+    ServingOptions options;
+    options.policy = SchedPolicy::kFcfs;
+    options.num_requests = 6;
+    options.rate_rps = 50.0;
+    options.seed = 7;
+    const ServingResult served =
+        ServingSimulator(costs, mix, options).Run();
+
+    const ModelConfig tiny = TinyTestConfig();
+    const ModelWeights weights = GenerateSyntheticWeights(tiny);
+    const Transformer transformer(weights);
+    Fp32LinearExecutor fp32(weights);
+    ReplayOptions replay_options;
+    replay_options.max_output_tokens = 8;
+    replay_options.max_prompt_tokens = 16;
+    replay_options.check_bitwise = false;
+    ReplayServingTrace(served.replay_steps, served.records, transformer,
+                       fp32, replay_options);
+
+    const bool ok = tracer.WriteChromeTrace(path);
+    const unsigned long long recorded = tracer.TotalRecorded();
+    const unsigned long long dropped = tracer.TotalDropped();
+    tracer.Disable();
+    std::printf("  %s %s (recorded %llu events, dropped %llu)\n",
+                ok ? "wrote" : "FAILED to write", path, recorded, dropped);
+    std::printf("METRIC {\"bench\": \"serving\", \"mode\": \"trace\", "
+                "\"recorded\": %llu, \"dropped\": %llu, "
+                "\"write_ok\": %s}\n",
+                recorded, dropped, ok ? "true" : "false");
+}
+
+void
+Run(const char* trace_path)
 {
     const bool smoke = std::getenv("LLMNPU_SERVING_SMOKE") != nullptr;
     BenchHeader(
@@ -268,14 +324,29 @@ Run()
     EmitMetric("closed", closed.policy, 0.0, 0.0, closed_report,
                DecodePlacementName(engine.options().decode_placement),
                closed.max_decode_batch);
+
+    if (trace_path != nullptr) RunTracedScenario(trace_path, costs, mix);
 }
 
 }  // namespace
 }  // namespace llmnpu
 
 int
-main()
+main(int argc, char** argv)
 {
-    llmnpu::Run();
+    const char* trace_path = std::getenv("LLMNPU_TRACE_FILE");
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--trace") == 0) {
+            trace_path = "serving_trace.json";
+            if (i + 1 < argc && argv[i + 1][0] != '-') {
+                trace_path = argv[++i];
+            }
+        } else {
+            std::fprintf(stderr,
+                         "usage: bench_serving [--trace [PATH]]\n");
+            return 2;
+        }
+    }
+    llmnpu::Run(trace_path);
     return 0;
 }

@@ -4,7 +4,7 @@
  * machine-readable summary so each commit leaves a perf-trajectory sample.
  *
  * Usage: run_all [--bench-dir DIR] [--out FILE] [--filter PREFIX] [--quiet]
- *                [--quick]
+ *                [--quick] [--trace FILE]
  *   --bench-dir  directory scanned for bench_* binaries
  *                (default: the directory run_all itself lives in)
  *   --out        output JSON path (default: BENCH_results.json in the CWD)
@@ -16,6 +16,10 @@
  *                smoke runs (the full sweep keeps the real sizes). The JSON
  *                records "quick": true so trajectory tooling never compares
  *                quick numbers against full runs.
+ *   --trace      exports LLMNPU_TRACE_FILE=FILE: benches that know how to
+ *                trace themselves (bench_serving) run one extra traced
+ *                scenario and write Chrome trace-event JSON there
+ *                (Perfetto-loadable; see examples/trace_dump).
  *
  * The JSON schema ("llmnpu-bench-v2") is one record per bench with its exit
  * status and wall time; downstream tooling diffs these files across commits
@@ -99,6 +103,7 @@ main(int argc, char** argv)
     std::string filter;
     bool quiet = false;
     bool quick = false;
+    std::string trace_file;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--bench-dir") == 0 && i + 1 < argc) {
             bench_dir = argv[++i];
@@ -110,10 +115,13 @@ main(int argc, char** argv)
             quiet = true;
         } else if (std::strcmp(argv[i], "--quick") == 0) {
             quick = true;
+        } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+            trace_file = argv[++i];
         } else {
             std::fprintf(stderr,
                          "usage: run_all [--bench-dir DIR] [--out FILE] "
-                         "[--filter PREFIX] [--quiet] [--quick]\n");
+                         "[--filter PREFIX] [--quiet] [--quick] "
+                         "[--trace FILE]\n");
             return 2;
         }
     }
@@ -122,6 +130,9 @@ main(int argc, char** argv)
         // environment (popen children inherit it).
         setenv("LLMNPU_BENCH_QUICK", "1", 1);
         setenv("LLMNPU_SERVING_SMOKE", "1", 1);
+    }
+    if (!trace_file.empty()) {
+        setenv("LLMNPU_TRACE_FILE", trace_file.c_str(), 1);
     }
 
     std::vector<std::string> benches = DiscoverBenches(bench_dir);

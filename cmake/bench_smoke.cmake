@@ -6,10 +6,19 @@
 # downstream tooling keys on. Catches schema regressions on push without
 # paying for the full bench sweep (full runs keep the real sizes).
 #
+# Also passes --trace so bench_serving's traced scenario writes a
+# Perfetto-loadable Chrome trace next to the JSON (CI uploads it as an
+# artifact), and asserts the bench_obs tracer-overhead rows are present.
+#
 # Expects: RUN_ALL (path to the driver), OUT (json path to write).
+# Optional: TRACE (trace json path, default ${OUT}.trace.json).
+
+if(NOT DEFINED TRACE)
+  set(TRACE "${OUT}.trace.json")
+endif()
 
 execute_process(
-  COMMAND ${RUN_ALL} --quiet --quick --out ${OUT}
+  COMMAND ${RUN_ALL} --quiet --quick --out ${OUT} --trace ${TRACE}
   RESULT_VARIABLE rc)
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "bench-smoke: run_all exited with ${rc}")
@@ -37,7 +46,15 @@ foreach(needle
     "\"kernel\": \"matmul_f32\""
     "\"variant\": \"tiled\""
     "\"gflops\""
-    "\"speedup_vs_naive\"")
+    "\"speedup_vs_naive\""
+    "\"name\": \"bench_obs\""
+    "\"bench\": \"obs\""
+    "\"mode\": \"disabled\""
+    "\"mode\": \"enabled_hot\""
+    "\"ns_per_site\""
+    "\"overhead_ratio\""
+    "\"mode\": \"trace\""
+    "\"write_ok\": true")
   string(FIND "${content}" "${needle}" found)
   if(found EQUAL -1)
     message(FATAL_ERROR
@@ -45,4 +62,23 @@ foreach(needle
       "BENCH_results.json schema regressed")
   endif()
 endforeach()
-message(STATUS "bench-smoke: schema ok (${OUT})")
+
+if(NOT EXISTS ${TRACE})
+  message(FATAL_ERROR
+    "bench-smoke: ${TRACE} was not written — bench_serving's --trace "
+    "scenario regressed")
+endif()
+file(READ ${TRACE} trace_content)
+foreach(needle
+    "\"traceEvents\""
+    "numeric plane (wall clock)"
+    "serving simulator (virtual time)"
+    "\"ph\": \"X\"")
+  string(FIND "${trace_content}" "${needle}" found)
+  if(found EQUAL -1)
+    message(FATAL_ERROR
+      "bench-smoke: ${TRACE} is missing '${needle}' — the Chrome "
+      "trace-event export regressed")
+  endif()
+endforeach()
+message(STATUS "bench-smoke: schema ok (${OUT}); trace ok (${TRACE})")

@@ -29,6 +29,9 @@ endif()
 if(NOT DEFINED DECODE_BAND)
   set(DECODE_BAND 1.02)
 endif()
+if(NOT DEFINED OBS_BAND)
+  set(OBS_BAND 1.5)
+endif()
 
 # CMake's math() is integer-only: parse a non-negative decimal into
 # milli-units (x1000) so band comparisons become integer products.
@@ -190,6 +193,62 @@ function(collect_paged_kv_metrics json_path out_var)
   set(${out_var} "${pairs}" PARENT_SCOPE)
 endfunction()
 
+# Checks the bench_obs tracer-overhead rows of one results file against an
+# *absolute* band: the `disabled` and `enabled_idle` overhead ratios must
+# stay under OBS_BAND (default 1.5x — an unobserved span macro costs one
+# relaxed atomic load, so a blowout here means the hot-path gate regressed).
+# Unlike the kernel/decode checks this needs no committed baseline: the
+# ratio is already normalized against the same run's own uninstrumented
+# loop.
+function(check_obs_metrics json_path band)
+  file(READ ${json_path} content)
+  string(JSON num_benches LENGTH ${content} "benches")
+  to_milli(${band} band_milli)
+  set(checked 0)
+  math(EXPR last_bench "${num_benches} - 1")
+  foreach(b RANGE ${last_bench})
+    string(JSON bench_name GET ${content} "benches" ${b} "name")
+    if(NOT bench_name STREQUAL "bench_obs")
+      continue()
+    endif()
+    string(JSON num_metrics ERROR_VARIABLE err
+           LENGTH ${content} "benches" ${b} "metrics")
+    if(err OR num_metrics EQUAL 0)
+      message(FATAL_ERROR
+        "check_bench_metrics: ${json_path} has no bench_obs metric rows — "
+        "the tracer-overhead METRIC output regressed")
+    endif()
+    math(EXPR last_metric "${num_metrics} - 1")
+    foreach(i RANGE ${last_metric})
+      set(prefix "benches" ${b} "metrics" ${i})
+      string(JSON mode GET ${content} ${prefix} "mode")
+      string(JSON ns GET ${content} ${prefix} "ns_per_site")
+      string(JSON ratio GET ${content} ${prefix} "overhead_ratio")
+      if(NOT ns GREATER 0)
+        message(FATAL_ERROR
+          "check_bench_metrics: ${json_path}: bench_obs mode=${mode} has "
+          "non-positive ns_per_site=${ns}")
+      endif()
+      if(mode STREQUAL "disabled" OR mode STREQUAL "enabled_idle")
+        to_milli(${ratio} ratio_milli)
+        if(ratio_milli GREATER band_milli)
+          message(FATAL_ERROR
+            "check_bench_metrics: ${json_path}: bench_obs mode=${mode} "
+            "overhead_ratio=${ratio} exceeds the ${band}x band — "
+            "instrumentation that is not being observed must be free")
+        endif()
+        math(EXPR checked "${checked} + 1")
+      endif()
+    endforeach()
+  endforeach()
+  if(checked EQUAL 0)
+    message(FATAL_ERROR
+      "check_bench_metrics: ${json_path} has no bench_obs disabled/"
+      "enabled_idle rows — the tracer-overhead METRIC output regressed")
+  endif()
+  set(obs_checked ${checked} PARENT_SCOPE)
+endfunction()
+
 # Band-checks every fresh "key=value" pair whose key exists in the baseline
 # list against `band` (e.g. 5.0 = within 5x either way); fails if none
 # match or any value strays outside the band.
@@ -254,7 +313,11 @@ collect_paged_kv_metrics(${BASELINE} base_paged)
 band_check_pairs("${fresh_paged}" "${base_paged}" "kv-pages-mean"
                  ${DECODE_BAND})
 
+check_obs_metrics(${RESULTS} ${OBS_BAND})
+
 message(STATUS
   "check_bench_metrics: ${kernel_matched} kernel rows within ${BAND}x, "
   "${decode_matched} decode-placement rows and ${band_matched} paged-KV "
-  "occupancy rows within ${DECODE_BAND}x of the committed baseline")
+  "occupancy rows within ${DECODE_BAND}x of the committed baseline; "
+  "${obs_checked} tracer-overhead rows within the absolute ${OBS_BAND}x "
+  "band")

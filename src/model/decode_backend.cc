@@ -1,13 +1,74 @@
 #include "src/model/decode_backend.h"
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/check.h"
 
 namespace llmnpu {
 
+namespace {
+
+/** Registry handles for the CPU/NPU boundary counters, resolved once (the
+ *  registry leaks, so process-lifetime caching is safe). */
+struct HandoffCounters
+{
+    obs::Counter& npu_linear_calls =
+        obs::MetricsRegistry::Global().GetCounter("handoff.npu_linear_calls");
+    obs::Counter& cpu_linear_calls =
+        obs::MetricsRegistry::Global().GetCounter("handoff.cpu_linear_calls");
+    obs::Counter& handoffs =
+        obs::MetricsRegistry::Global().GetCounter("handoff.round_trips");
+    obs::Counter& quantized_elems =
+        obs::MetricsRegistry::Global().GetCounter("handoff.quantized_elems");
+    obs::Counter& dequantized_elems =
+        obs::MetricsRegistry::Global().GetCounter("handoff.dequantized_elems");
+};
+
+HandoffCounters&
+Counters()
+{
+    static HandoffCounters* c = new HandoffCounters();
+    return *c;
+}
+
+HandoffStats
+RegistryTotals()
+{
+    HandoffCounters& c = Counters();
+    HandoffStats s;
+    s.npu_linear_calls = c.npu_linear_calls.value();
+    s.cpu_linear_calls = c.cpu_linear_calls.value();
+    s.handoffs = c.handoffs.value();
+    s.quantized_elems = c.quantized_elems.value();
+    s.dequantized_elems = c.dequantized_elems.value();
+    return s;
+}
+
+}  // namespace
+
 DecodeBackend::DecodeBackend(LinearExecutor& cpu_float,
                              LinearExecutor& npu_quant)
-    : cpu_float_(cpu_float), npu_quant_(npu_quant)
+    : cpu_float_(cpu_float), npu_quant_(npu_quant), base_(RegistryTotals())
 {}
+
+HandoffStats
+DecodeBackend::stats() const
+{
+    const HandoffStats now = RegistryTotals();
+    HandoffStats s;
+    s.npu_linear_calls = now.npu_linear_calls - base_.npu_linear_calls;
+    s.cpu_linear_calls = now.cpu_linear_calls - base_.cpu_linear_calls;
+    s.handoffs = now.handoffs - base_.handoffs;
+    s.quantized_elems = now.quantized_elems - base_.quantized_elems;
+    s.dequantized_elems = now.dequantized_elems - base_.dequantized_elems;
+    return s;
+}
+
+void
+DecodeBackend::ResetStats()
+{
+    base_ = RegistryTotals();
+}
 
 void
 DecodeBackend::SetUniformPlacement(DecodePlacement placement)
@@ -42,14 +103,17 @@ DecodeBackend::Forward(int layer, LinearKind kind, const Tensor& x)
 {
     const DecodePlacement placement = PlacementFor(0);
     if (placement == DecodePlacement::kNpuQuant) {
-        ++stats_.npu_linear_calls;
-        ++stats_.handoffs;
-        stats_.quantized_elems += x.NumElements();
+        HandoffCounters& c = Counters();
+        c.npu_linear_calls.Add(1);
+        c.handoffs.Add(1);
+        c.quantized_elems.Add(x.NumElements());
+        LLMNPU_TRACE_SPAN_ID("handoff.npu_linear", "handoff", -1, -1,
+                             layer);
         Tensor y = npu_quant_.Forward(layer, kind, x);
-        stats_.dequantized_elems += y.NumElements();
+        c.dequantized_elems.Add(y.NumElements());
         return y;
     }
-    ++stats_.cpu_linear_calls;
+    Counters().cpu_linear_calls.Add(1);
     return cpu_float_.Forward(layer, kind, x);
 }
 
@@ -63,6 +127,8 @@ DecodeBackend::ForwardBatch(int layer, LinearKind kind, const Tensor& x,
         LLMNPU_CHECK_EQ(step_placements_.size(), num_segments);
     }
 
+    HandoffCounters& c = Counters();
+
     // Uniform fast path: the whole stack goes to one executor.
     bool uniform = true;
     for (size_t i = 1; i < num_segments; ++i) {
@@ -74,14 +140,16 @@ DecodeBackend::ForwardBatch(int layer, LinearKind kind, const Tensor& x,
     if (uniform) {
         const DecodePlacement placement = PlacementFor(0);
         if (placement == DecodePlacement::kNpuQuant) {
-            stats_.npu_linear_calls += static_cast<int64_t>(num_segments);
-            ++stats_.handoffs;
-            stats_.quantized_elems += x.NumElements();
+            c.npu_linear_calls.Add(static_cast<int64_t>(num_segments));
+            c.handoffs.Add(1);
+            c.quantized_elems.Add(x.NumElements());
+            LLMNPU_TRACE_SPAN_ID("handoff.npu_batch", "handoff", -1, -1,
+                                 layer);
             Tensor y = npu_quant_.ForwardBatch(layer, kind, x, segments);
-            stats_.dequantized_elems += y.NumElements();
+            c.dequantized_elems.Add(y.NumElements());
             return y;
         }
-        stats_.cpu_linear_calls += static_cast<int64_t>(num_segments);
+        c.cpu_linear_calls.Add(static_cast<int64_t>(num_segments));
         return cpu_float_.ForwardBatch(layer, kind, x, segments);
     }
 
@@ -104,13 +172,15 @@ DecodeBackend::ForwardBatch(int layer, LinearKind kind, const Tensor& x,
         }
         Tensor y;
         if (placement == DecodePlacement::kNpuQuant) {
-            stats_.npu_linear_calls += static_cast<int64_t>(last - first);
-            ++stats_.handoffs;
-            stats_.quantized_elems += sub.NumElements();
+            c.npu_linear_calls.Add(static_cast<int64_t>(last - first));
+            c.handoffs.Add(1);
+            c.quantized_elems.Add(sub.NumElements());
+            LLMNPU_TRACE_SPAN_ID("handoff.npu_run", "handoff", -1, -1,
+                                 layer);
             y = npu_quant_.ForwardBatch(layer, kind, sub, sub_segments);
-            stats_.dequantized_elems += y.NumElements();
+            c.dequantized_elems.Add(y.NumElements());
         } else {
-            stats_.cpu_linear_calls += static_cast<int64_t>(last - first);
+            c.cpu_linear_calls.Add(static_cast<int64_t>(last - first));
             y = cpu_float_.ForwardBatch(layer, kind, sub, sub_segments);
         }
         if (out.Rank() == 0) out = Tensor({x.Rows(), y.Cols()}, DType::kF32);

@@ -33,7 +33,9 @@ namespace llmnpu {
 
 /** Boundary-crossing counters of the CPU/NPU handoff (per linear routed to
  *  the NPU: one f32->int8 quantize of the inputs, one accumulator
- *  dequantize of the outputs, one round trip). */
+ *  dequantize of the outputs, one round trip). Backed by the process-wide
+ *  obs::MetricsRegistry ("handoff.*" counters); DecodeBackend::stats()
+ *  reads them relative to the last ResetStats() snapshot. */
 struct HandoffStats {
     int64_t npu_linear_calls = 0;  ///< per-segment linears routed to the NPU
     int64_t cpu_linear_calls = 0;  ///< per-segment linears kept on the CPU
@@ -80,8 +82,12 @@ class DecodeBackend : public LinearExecutor
                         const BatchSegments& segments) override;
     std::string Name() const override;
 
-    const HandoffStats& stats() const { return stats_; }
-    void ResetStats() { stats_ = HandoffStats{}; }
+    /** Handoff counters accumulated since construction / last ResetStats().
+     *  Reads the registry's "handoff.*" counters minus the snapshot, so a
+     *  single live backend sees exactly its own traffic. */
+    HandoffStats stats() const;
+    /** Re-bases stats() at the registry's current totals. */
+    void ResetStats();
 
     /** The placement segment i of the current step routes to. */
     DecodePlacement PlacementFor(size_t segment) const;
@@ -91,7 +97,7 @@ class DecodeBackend : public LinearExecutor
     LinearExecutor& npu_quant_;
     DecodePlacement uniform_ = DecodePlacement::kCpuFloat;
     std::vector<DecodePlacement> step_placements_;  ///< empty => uniform_
-    HandoffStats stats_;
+    HandoffStats base_;  ///< registry totals at construction / ResetStats
 };
 
 }  // namespace llmnpu

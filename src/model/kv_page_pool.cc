@@ -1,6 +1,34 @@
 #include "src/model/kv_page_pool.h"
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
 namespace llmnpu {
+
+namespace {
+
+/** Registry handles resolved once; the registry leaks, so these are safe
+ *  to cache for the process lifetime. */
+struct KvPoolMetrics
+{
+    obs::Counter& alloc =
+        obs::MetricsRegistry::Global().GetCounter("kv_pool.alloc");
+    obs::Counter& alloc_fail =
+        obs::MetricsRegistry::Global().GetCounter("kv_pool.alloc_fail");
+    obs::Counter& release =
+        obs::MetricsRegistry::Global().GetCounter("kv_pool.release");
+    obs::Gauge& used =
+        obs::MetricsRegistry::Global().GetGauge("kv_pool.used_pages");
+};
+
+KvPoolMetrics&
+PoolMetrics()
+{
+    static KvPoolMetrics* m = new KvPoolMetrics();
+    return *m;
+}
+
+}  // namespace
 
 KvPagePool::KvPagePool(int num_layers, int64_t kv_dim, PagedKvOptions options)
     : num_layers_(num_layers), kv_dim_(kv_dim), options_(options)
@@ -50,6 +78,8 @@ KvPagePool::AllocPage()
         free_list_.pop_back();
     } else {
         if (options_.max_pages > 0 && allocated_pages() >= options_.max_pages) {
+            PoolMetrics().alloc_fail.Add(1);
+            LLMNPU_TRACE_INSTANT("kv_pool.alloc_fail", "kv");
             return -1;
         }
         page = allocated_pages();
@@ -59,6 +89,10 @@ KvPagePool::AllocPage()
     LLMNPU_CHECK_EQ(refcount_[static_cast<size_t>(page)], 0);
     refcount_[static_cast<size_t>(page)] = 1;
     ++used_pages_;
+    PoolMetrics().alloc.Add(1);
+    PoolMetrics().used.Set(static_cast<double>(used_pages_));
+    LLMNPU_TRACE_COUNTER("kv_pool.used_pages",
+                         static_cast<double>(used_pages_));
     return page;
 }
 
@@ -81,6 +115,10 @@ KvPagePool::Release(int64_t page)
     if (--refs == 0) {
         free_list_.push_back(page);
         --used_pages_;
+        PoolMetrics().release.Add(1);
+        PoolMetrics().used.Set(static_cast<double>(used_pages_));
+        LLMNPU_TRACE_COUNTER("kv_pool.used_pages",
+                             static_cast<double>(used_pages_));
     }
 }
 

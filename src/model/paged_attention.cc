@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/obs/trace.h"
 #include "src/util/check.h"
 #include "src/util/threadpool.h"
 
@@ -51,6 +52,7 @@ PagedCausalAttention(const Tensor& q, const std::vector<int64_t>& segments,
     // fixed per-tile reduction order, hence bitwise-deterministic output
     // for any block partition the pool picks.
     const int64_t tiles = static_cast<int64_t>(b) * num_heads;
+    LLMNPU_TRACE_SPAN_ID("attention.paged", "attention", -1, -1, layer);
     ThreadPool::Global().ParallelFor(
         tiles, /*grain=*/1, [&](int64_t begin, int64_t end) {
             std::vector<float> scores;
@@ -58,6 +60,8 @@ PagedCausalAttention(const Tensor& q, const std::vector<int64_t>& segments,
             for (int64_t tile = begin; tile < end; ++tile) {
                 const size_t i = static_cast<size_t>(tile / num_heads);
                 const int h = static_cast<int>(tile % num_heads);
+                LLMNPU_TRACE_SPAN_TILE("attention.tile", "attention", -1,
+                                       seqs[i], layer, "head", h);
                 const int kv_h = h / heads_per_kv;
                 const int64_t q_off = static_cast<int64_t>(h) * head_dim;
                 const int64_t kv_off =

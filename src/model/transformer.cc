@@ -4,10 +4,32 @@
 
 #include "src/model/decode_backend.h"
 #include "src/model/paged_attention.h"
+#include "src/obs/trace.h"
 #include "src/tensor/matmul.h"
 #include "src/tensor/ops.h"
 
 namespace llmnpu {
+
+namespace {
+
+/** Stable trace-span name per linear kind (string literals: the tracer
+ *  stores the pointer, not a copy). */
+[[maybe_unused]] const char*
+LinearSpanName(LinearKind kind)
+{
+    switch (kind) {
+        case LinearKind::kWq: return "linear.wq";
+        case LinearKind::kWk: return "linear.wk";
+        case LinearKind::kWv: return "linear.wv";
+        case LinearKind::kWo: return "linear.wo";
+        case LinearKind::kFfnGate: return "linear.ffn_gate";
+        case LinearKind::kFfnUp: return "linear.ffn_up";
+        case LinearKind::kFfnDown: return "linear.ffn_down";
+        default: return "linear.unknown";
+    }
+}
+
+}  // namespace
 
 void
 CheckBatchSegments(const Tensor& x, const BatchSegments& segments)
@@ -122,12 +144,19 @@ Transformer::ForwardBlock(int layer, const Tensor& x, KvCache& cache,
 {
     const auto& c = weights_.config;
     const auto& lw = weights_.layers[static_cast<size_t>(layer)];
+    LLMNPU_TRACE_SPAN_ID("transformer.block", "model", -1, -1, layer);
+    // Span-per-linear: names the projection so a trace shows which linear
+    // of which layer ran; does not touch the tensors.
+    auto traced = [&](LinearKind kind, const Tensor& in) {
+        LLMNPU_TRACE_SPAN_ID(LinearSpanName(kind), "linear", -1, -1, layer);
+        return linears.Forward(layer, kind, in);
+    };
 
     // --- Attention sub-block (pre-norm residual). ---
     Tensor normed = Normed(x, lw.attn_norm_gamma, lw.attn_norm_beta);
-    Tensor q = linears.Forward(layer, LinearKind::kWq, normed);
-    Tensor k = linears.Forward(layer, LinearKind::kWk, normed);
-    Tensor v = linears.Forward(layer, LinearKind::kWv, normed);
+    Tensor q = traced(LinearKind::kWq, normed);
+    Tensor k = traced(LinearKind::kWk, normed);
+    Tensor v = traced(LinearKind::kWv, normed);
 
     ApplyRope(q, c.num_heads, c.head_dim, pos_offset);
     ApplyRope(k, c.num_kv_heads, c.head_dim, pos_offset);
@@ -137,14 +166,14 @@ Transformer::ForwardBlock(int layer, const Tensor& x, KvCache& cache,
     Tensor values = cache.Values(layer);
     Tensor attn = CausalAttention(q, keys, values, c.num_heads,
                                   c.num_kv_heads, pos_offset);
-    Tensor attn_out = linears.Forward(layer, LinearKind::kWo, attn);
+    Tensor attn_out = traced(LinearKind::kWo, attn);
     Tensor h = Add(x, attn_out);
 
     // --- FFN sub-block. ---
     Tensor ffn_in = Normed(h, lw.ffn_norm_gamma, lw.ffn_norm_beta);
-    Tensor up = linears.Forward(layer, LinearKind::kFfnUp, ffn_in);
+    Tensor up = traced(LinearKind::kFfnUp, ffn_in);
     if (c.gated_ffn) {
-        Tensor gate = linears.Forward(layer, LinearKind::kFfnGate, ffn_in);
+        Tensor gate = traced(LinearKind::kFfnGate, ffn_in);
         if (c.act == ActKind::kSiLU) {
             SiluInPlace(gate);
         } else {
@@ -158,7 +187,7 @@ Transformer::ForwardBlock(int layer, const Tensor& x, KvCache& cache,
             GeluInPlace(up);
         }
     }
-    Tensor down = linears.Forward(layer, LinearKind::kFfnDown, up);
+    Tensor down = traced(LinearKind::kFfnDown, up);
     AddInPlace(h, down);
     return h;
 }
@@ -174,6 +203,12 @@ Transformer::ForwardBlockBatch(int layer, const Tensor& x,
     const auto& c = weights_.config;
     const auto& lw = weights_.layers[static_cast<size_t>(layer)];
     const size_t b = batch.size();
+    LLMNPU_TRACE_SPAN_TILE("transformer.block_batch", "model", -1, -1,
+                           layer, "batch", static_cast<int>(b));
+    auto traced = [&](LinearKind kind, const Tensor& in) {
+        LLMNPU_TRACE_SPAN_ID(LinearSpanName(kind), "linear", -1, -1, layer);
+        return linears.ForwardBatch(layer, kind, in, segments);
+    };
 
     // --- Attention sub-block. Norms are row-wise and the QKV projections
     // run as stacked matmuls; RoPE and the cache appends are per-sequence
@@ -181,9 +216,9 @@ Transformer::ForwardBlockBatch(int layer, const Tensor& x,
     // stacked tensors, and attention is one fused tile-parallel kernel
     // reading K/V straight out of the pool pages.
     Tensor normed = Normed(x, lw.attn_norm_gamma, lw.attn_norm_beta);
-    Tensor q = linears.ForwardBatch(layer, LinearKind::kWq, normed, segments);
-    Tensor k = linears.ForwardBatch(layer, LinearKind::kWk, normed, segments);
-    Tensor v = linears.ForwardBatch(layer, LinearKind::kWv, normed, segments);
+    Tensor q = traced(LinearKind::kWq, normed);
+    Tensor k = traced(LinearKind::kWk, normed);
+    Tensor v = traced(LinearKind::kWv, normed);
 
     std::vector<int> seqs(b, 0);
     for (size_t i = 0; i < b; ++i) {
@@ -197,17 +232,14 @@ Transformer::ForwardBlockBatch(int layer, const Tensor& x,
     }
     Tensor attn = PagedCausalAttention(q, segments, seqs, pos_offsets, cache,
                                        layer, c.num_heads, c.num_kv_heads);
-    Tensor attn_out =
-        linears.ForwardBatch(layer, LinearKind::kWo, attn, segments);
+    Tensor attn_out = traced(LinearKind::kWo, attn);
     Tensor h = Add(x, attn_out);
 
     // --- FFN sub-block: everything is row-wise or a stacked matmul.
     Tensor ffn_in = Normed(h, lw.ffn_norm_gamma, lw.ffn_norm_beta);
-    Tensor up =
-        linears.ForwardBatch(layer, LinearKind::kFfnUp, ffn_in, segments);
+    Tensor up = traced(LinearKind::kFfnUp, ffn_in);
     if (c.gated_ffn) {
-        Tensor gate = linears.ForwardBatch(layer, LinearKind::kFfnGate,
-                                           ffn_in, segments);
+        Tensor gate = traced(LinearKind::kFfnGate, ffn_in);
         if (c.act == ActKind::kSiLU) {
             SiluInPlace(gate);
         } else {
@@ -221,8 +253,7 @@ Transformer::ForwardBlockBatch(int layer, const Tensor& x,
             GeluInPlace(up);
         }
     }
-    Tensor down =
-        linears.ForwardBatch(layer, LinearKind::kFfnDown, up, segments);
+    Tensor down = traced(LinearKind::kFfnDown, up);
     AddInPlace(h, down);
     return h;
 }
@@ -252,6 +283,8 @@ Transformer::ForwardBatch(const std::vector<BatchSeq>& batch,
                               batch[i].tokens.end());
     }
 
+    LLMNPU_TRACE_SPAN_TILE("transformer.forward_batch", "model", -1, -1,
+                           -1, "rows", static_cast<int>(segments.back()));
     Tensor x = Embed(stacked_tokens);
     for (int l = 0; l < weights_.config.num_layers; ++l) {
         x = ForwardBlockBatch(l, x, batch, segments, pos_offsets, cache,
@@ -277,6 +310,8 @@ Transformer::Forward(const std::vector<int>& tokens, KvCache& cache,
 {
     LLMNPU_CHECK(!tokens.empty());
     const int64_t pos_offset = cache.SeqLen();
+    LLMNPU_TRACE_SPAN_TILE("transformer.forward", "model", -1, -1, -1,
+                           "rows", static_cast<int>(tokens.size()));
     Tensor x = Embed(tokens);
     for (int l = 0; l < weights_.config.num_layers; ++l) {
         x = ForwardBlock(l, x, cache, pos_offset, linears);

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Chrome trace-event JSON exporter (Perfetto / chrome://tracing loadable).
+ *
+ * Layout of the exported document:
+ *
+ *  - pid 1 "numeric plane (wall clock)": one tid per registered thread
+ *    buffer, `ts`/`dur` in microseconds of wall time since tracer
+ *    construction.
+ *  - pid 2 "serving simulator (virtual time)": one tid per SimLane,
+ *    virtual milliseconds mapped 1 ms -> 1000 ts units, so both planes
+ *    read naturally in the same viewer without pretending to share a
+ *    clock.
+ *  - "otherData" carries drop accounting and a metrics-registry snapshot
+ *    (ignored by the viewers, consumed by examples/trace_dump).
+ *
+ * One event per line inside "traceEvents" — deliberate, so the in-repo
+ * reader and ad-hoc grep both stay trivial.
+ */
+#include <algorithm>
+#include <cstdio>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/util/format.h"
+
+namespace llmnpu {
+namespace obs {
+
+namespace {
+
+constexpr int kWallPid = 1;
+constexpr int kSimPid = 2;
+
+std::string
+EscapeJson(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                out += StrFormat("\\u%04x", c);
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+MetadataEvent(int pid, int tid, const char* what, const std::string& name)
+{
+    return StrFormat("{\"ph\": \"M\", \"pid\": %d, \"tid\": %d, "
+                     "\"name\": \"%s\", \"args\": {\"name\": \"%s\"}}",
+                     pid, tid, what, EscapeJson(name).c_str());
+}
+
+/** Common args of a wall-lane event as `"k": v` pairs (may be empty). */
+std::string
+WallArgs(const TraceEvent& event)
+{
+    std::string args;
+    auto add = [&](const char* key, int32_t value) {
+        if (value < 0) return;
+        if (!args.empty()) args += ", ";
+        args += StrFormat("\"%s\": %d", key, value);
+    };
+    add("req", event.req);
+    add("seq", event.seq);
+    add("layer", event.layer);
+    if (event.extra_name != nullptr) {
+        add(EscapeJson(event.extra_name).c_str(), event.extra);
+    }
+    return args;
+}
+
+void
+AppendWallEvent(std::string& out, const TraceEvent& event, int tid)
+{
+    const double ts = static_cast<double>(event.t0_ns) / 1e3;
+    switch (event.phase) {
+    case TracePhase::kSpan: {
+        const double dur =
+            static_cast<double>(event.t1_ns - event.t0_ns) / 1e3;
+        out += StrFormat("{\"ph\": \"X\", \"pid\": %d, \"tid\": %d, "
+                         "\"ts\": %.3f, \"dur\": %.3f, \"name\": \"%s\", "
+                         "\"cat\": \"%s\", \"args\": {%s}}",
+                         kWallPid, tid, ts, dur,
+                         EscapeJson(event.name).c_str(),
+                         EscapeJson(event.cat).c_str(),
+                         WallArgs(event).c_str());
+        break;
+    }
+    case TracePhase::kInstant:
+        out += StrFormat("{\"ph\": \"i\", \"pid\": %d, \"tid\": %d, "
+                         "\"ts\": %.3f, \"s\": \"t\", \"name\": \"%s\", "
+                         "\"cat\": \"%s\", \"args\": {%s}}",
+                         kWallPid, tid, ts,
+                         EscapeJson(event.name).c_str(),
+                         EscapeJson(event.cat).c_str(),
+                         WallArgs(event).c_str());
+        break;
+    case TracePhase::kCounter:
+        out += StrFormat("{\"ph\": \"C\", \"pid\": %d, \"tid\": %d, "
+                         "\"ts\": %.3f, \"name\": \"%s\", "
+                         "\"args\": {\"value\": %.3f}}",
+                         kWallPid, tid, ts,
+                         EscapeJson(event.name).c_str(), event.value);
+        break;
+    }
+}
+
+void
+AppendSimEvent(std::string& out, const SimEvent& event)
+{
+    const int tid = static_cast<int>(event.lane);
+    const double ts = event.t0_ms * 1e3;  // virtual ms -> ts units
+    std::string args;
+    if (event.req >= 0) args += StrFormat("\"req\": %d", event.req);
+    if (!event.args_json.empty()) {
+        if (!args.empty()) args += ", ";
+        args += event.args_json;
+    }
+    switch (event.phase) {
+    case TracePhase::kSpan:
+        out += StrFormat("{\"ph\": \"X\", \"pid\": %d, \"tid\": %d, "
+                         "\"ts\": %.3f, \"dur\": %.3f, \"name\": \"%s\", "
+                         "\"cat\": \"%s\", \"args\": {%s}}",
+                         kSimPid, tid, ts,
+                         (event.t1_ms - event.t0_ms) * 1e3,
+                         EscapeJson(event.name).c_str(), event.cat,
+                         args.c_str());
+        break;
+    case TracePhase::kInstant:
+        out += StrFormat("{\"ph\": \"i\", \"pid\": %d, \"tid\": %d, "
+                         "\"ts\": %.3f, \"s\": \"t\", \"name\": \"%s\", "
+                         "\"cat\": \"%s\", \"args\": {%s}}",
+                         kSimPid, tid, ts,
+                         EscapeJson(event.name).c_str(), event.cat,
+                         args.c_str());
+        break;
+    case TracePhase::kCounter:
+        out += StrFormat("{\"ph\": \"C\", \"pid\": %d, \"tid\": %d, "
+                         "\"ts\": %.3f, \"name\": \"%s\", "
+                         "\"args\": {\"value\": %.3f}}",
+                         kSimPid, tid, ts,
+                         EscapeJson(event.name).c_str(), event.value);
+        break;
+    }
+}
+
+const char*
+SimLaneName(SimLane lane)
+{
+    switch (lane) {
+    case SimLane::kNpu: return "npu (prefill chunks)";
+    case SimLane::kDecode: return "decode steps";
+    case SimLane::kEvents: return "serving events";
+    }
+    return "?";
+}
+
+}  // namespace
+
+std::string
+Tracer::ChromeTraceJson() const
+{
+    std::vector<std::string> lines;
+
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        lines.push_back(MetadataEvent(kWallPid, 0, "process_name",
+                                      "numeric plane (wall clock)"));
+        lines.push_back(MetadataEvent(kSimPid, 0, "process_name",
+                                      "serving simulator (virtual time)"));
+        for (const auto& buffer : buffers_) {
+            lines.push_back(MetadataEvent(kWallPid, buffer->tid,
+                                          "thread_name", buffer->name));
+        }
+        for (SimLane lane :
+             {SimLane::kNpu, SimLane::kDecode, SimLane::kEvents}) {
+            lines.push_back(MetadataEvent(kSimPid,
+                                          static_cast<int>(lane),
+                                          "thread_name",
+                                          SimLaneName(lane)));
+        }
+        for (const auto& buffer : buffers_) {
+            const uint64_t head =
+                buffer->head.load(std::memory_order_acquire);
+            const uint64_t cap = buffer->ring.size();
+            const uint64_t stored = std::min<uint64_t>(head, cap);
+            for (uint64_t e = head - stored; e < head; ++e) {
+                std::string line;
+                AppendWallEvent(
+                    line, buffer->ring[static_cast<size_t>(e % cap)],
+                    buffer->tid);
+                lines.push_back(std::move(line));
+            }
+        }
+        for (const SimEvent& event : sim_events_) {
+            std::string line;
+            AppendSimEvent(line, event);
+            lines.push_back(std::move(line));
+        }
+    }
+
+    std::string out = "{\n\"displayTimeUnit\": \"ms\",\n";
+    out += StrFormat("\"otherData\": {\"tracer\": \"llmnpu\", "
+                     "\"recorded\": %llu, \"dropped\": %llu, "
+                     "\"metrics\": %s},\n",
+                     static_cast<unsigned long long>(TotalRecorded()),
+                     static_cast<unsigned long long>(TotalDropped()),
+                     MetricsRegistry::Global().DumpJson().c_str());
+    out += "\"traceEvents\": [\n";
+    for (size_t i = 0; i < lines.size(); ++i) {
+        out += lines[i];
+        if (i + 1 < lines.size()) out += ',';
+        out += '\n';
+    }
+    out += "]\n}\n";
+    return out;
+}
+
+bool
+Tracer::WriteChromeTrace(const std::string& path) const
+{
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    const std::string json = ChromeTraceJson();
+    const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+    const bool ok = written == json.size() && std::fclose(f) == 0;
+    if (!ok && written != json.size()) std::fclose(f);
+    return ok;
+}
+
+}  // namespace obs
+}  // namespace llmnpu

@@ -1,0 +1,307 @@
+#include "src/obs/trace_reader.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "src/util/check.h"
+#include "src/util/format.h"
+
+namespace llmnpu {
+namespace obs {
+
+bool
+JsonValue::Has(const std::string& key) const
+{
+    return type == Type::kObject && object.find(key) != object.end();
+}
+
+const JsonValue&
+JsonValue::At(const std::string& key) const
+{
+    LLMNPU_CHECK(type == Type::kObject);
+    const auto it = object.find(key);
+    LLMNPU_CHECK(it != object.end());
+    return it->second;
+}
+
+namespace {
+
+/** Recursive-descent parser over the whole document. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string& text) : text_(text) {}
+
+    bool
+    Parse(JsonValue* out, std::string* error)
+    {
+        SkipWs();
+        if (!ParseValue(out)) {
+            *error = error_;
+            return false;
+        }
+        SkipWs();
+        if (pos_ != text_.size()) {
+            *error = StrFormat("trailing garbage at offset %zu", pos_);
+            return false;
+        }
+        return true;
+    }
+
+  private:
+    bool
+    Fail(const std::string& what)
+    {
+        if (error_.empty()) {
+            error_ = StrFormat("%s at offset %zu", what.c_str(), pos_);
+        }
+        return false;
+    }
+
+    void
+    SkipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+        }
+    }
+
+    bool
+    Consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    ParseValue(JsonValue* out)
+    {
+        if (pos_ >= text_.size()) return Fail("unexpected end");
+        const char c = text_[pos_];
+        if (c == '{') return ParseObject(out);
+        if (c == '[') return ParseArray(out);
+        if (c == '"') {
+            out->type = JsonValue::Type::kString;
+            return ParseString(&out->str);
+        }
+        if (c == 't' || c == 'f') return ParseLiteral(out);
+        if (c == 'n') return ParseLiteral(out);
+        return ParseNumber(out);
+    }
+
+    bool
+    ParseLiteral(JsonValue* out)
+    {
+        auto match = [&](const char* word) {
+            const size_t len = std::string(word).size();
+            if (text_.compare(pos_, len, word) == 0) {
+                pos_ += len;
+                return true;
+            }
+            return false;
+        };
+        if (match("true")) {
+            out->type = JsonValue::Type::kBool;
+            out->boolean = true;
+            return true;
+        }
+        if (match("false")) {
+            out->type = JsonValue::Type::kBool;
+            out->boolean = false;
+            return true;
+        }
+        if (match("null")) {
+            out->type = JsonValue::Type::kNull;
+            return true;
+        }
+        return Fail("bad literal");
+    }
+
+    bool
+    ParseNumber(JsonValue* out)
+    {
+        const size_t start = pos_;
+        if (Consume('-')) {
+        }
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-')) {
+            ++pos_;
+        }
+        if (pos_ == start) return Fail("bad number");
+        const std::string token = text_.substr(start, pos_ - start);
+        // JSON forbids leading zeros ("01") and a bare minus.
+        const size_t d = token[0] == '-' ? 1 : 0;
+        if (token.size() == d) return Fail("bad number");
+        if (token[d] == '0' && token.size() > d + 1 &&
+            std::isdigit(static_cast<unsigned char>(token[d + 1]))) {
+            return Fail("bad number");
+        }
+        char* end = nullptr;
+        out->type = JsonValue::Type::kNumber;
+        out->number = std::strtod(token.c_str(), &end);
+        if (end == nullptr || *end != '\0') return Fail("bad number");
+        return true;
+    }
+
+    bool
+    ParseString(std::string* out)
+    {
+        if (!Consume('"')) return Fail("expected '\"'");
+        out->clear();
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"') return true;
+            if (static_cast<unsigned char>(c) < 0x20) {
+                return Fail("raw control char in string");
+            }
+            if (c != '\\') {
+                *out += c;
+                continue;
+            }
+            if (pos_ >= text_.size()) return Fail("bad escape");
+            const char e = text_[pos_++];
+            switch (e) {
+            case '"': *out += '"'; break;
+            case '\\': *out += '\\'; break;
+            case '/': *out += '/'; break;
+            case 'n': *out += '\n'; break;
+            case 't': *out += '\t'; break;
+            case 'r': *out += '\r'; break;
+            case 'b': *out += '\b'; break;
+            case 'f': *out += '\f'; break;
+            case 'u': {
+                if (pos_ + 4 > text_.size()) return Fail("bad \\u");
+                for (int i = 0; i < 4; ++i) {
+                    if (!std::isxdigit(static_cast<unsigned char>(
+                            text_[pos_ + static_cast<size_t>(i)]))) {
+                        return Fail("bad \\u");
+                    }
+                }
+                const long code = std::strtol(
+                    text_.substr(pos_, 4).c_str(), nullptr, 16);
+                pos_ += 4;
+                // The exporter only emits \u00xx; decode the Latin-1
+                // range, pass anything else through replaced.
+                *out += code < 0x80 ? static_cast<char>(code) : '?';
+                break;
+            }
+            default: return Fail("bad escape");
+            }
+        }
+        return Fail("unterminated string");
+    }
+
+    bool
+    ParseArray(JsonValue* out)
+    {
+        if (!Consume('[')) return Fail("expected '['");
+        out->type = JsonValue::Type::kArray;
+        SkipWs();
+        if (Consume(']')) return true;
+        for (;;) {
+            JsonValue element;
+            SkipWs();
+            if (!ParseValue(&element)) return false;
+            out->array.push_back(std::move(element));
+            SkipWs();
+            if (Consume(']')) return true;
+            if (!Consume(',')) return Fail("expected ',' or ']'");
+        }
+    }
+
+    bool
+    ParseObject(JsonValue* out)
+    {
+        if (!Consume('{')) return Fail("expected '{'");
+        out->type = JsonValue::Type::kObject;
+        SkipWs();
+        if (Consume('}')) return true;
+        for (;;) {
+            SkipWs();
+            std::string key;
+            if (!ParseString(&key)) return false;
+            SkipWs();
+            if (!Consume(':')) return Fail("expected ':'");
+            SkipWs();
+            JsonValue value;
+            if (!ParseValue(&value)) return false;
+            out->object[key] = std::move(value);
+            SkipWs();
+            if (Consume('}')) return true;
+            if (!Consume(',')) return Fail("expected ',' or '}'");
+        }
+    }
+
+    const std::string& text_;
+    size_t pos_ = 0;
+    std::string error_;
+};
+
+}  // namespace
+
+bool
+ParseJson(const std::string& text, JsonValue* out, std::string* error)
+{
+    return JsonParser(text).Parse(out, error);
+}
+
+bool
+ReadChromeTrace(const std::string& text, ReadTrace* out,
+                std::string* error)
+{
+    JsonValue doc;
+    if (!ParseJson(text, &doc, error)) return false;
+    if (doc.type != JsonValue::Type::kObject || !doc.Has("traceEvents")) {
+        *error = "document is not a trace (no traceEvents)";
+        return false;
+    }
+    const JsonValue& events = doc.At("traceEvents");
+    if (events.type != JsonValue::Type::kArray) {
+        *error = "traceEvents is not an array";
+        return false;
+    }
+    if (doc.Has("otherData")) out->other_data = doc.At("otherData");
+
+    for (const JsonValue& raw : events.array) {
+        if (raw.type != JsonValue::Type::kObject || !raw.Has("ph") ||
+            !raw.Has("name")) {
+            *error = "event without ph/name";
+            return false;
+        }
+        ReadEvent event;
+        event.ph = raw.At("ph").str;
+        event.name = raw.At("name").str;
+        if (raw.Has("cat")) event.cat = raw.At("cat").str;
+        if (raw.Has("pid")) {
+            event.pid = static_cast<int>(raw.At("pid").number);
+        }
+        if (raw.Has("tid")) {
+            event.tid = static_cast<int>(raw.At("tid").number);
+        }
+        if (raw.Has("ts")) event.ts_us = raw.At("ts").number;
+        if (raw.Has("dur")) event.dur_us = raw.At("dur").number;
+        if (raw.Has("args")) event.args = raw.At("args").object;
+
+        if (event.ph == "M") {
+            const std::string track_name =
+                event.args.count("name") ? event.args.at("name").str : "";
+            if (event.name == "process_name") {
+                out->process_names[event.pid] = track_name;
+            } else if (event.name == "thread_name") {
+                out->thread_names[{event.pid, event.tid}] = track_name;
+            }
+        }
+        out->events.push_back(std::move(event));
+    }
+    return true;
+}
+
+}  // namespace obs
+}  // namespace llmnpu

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Reader for the tracer's Chrome trace-event JSON: a small recursive-
+ * descent JSON parser (strict enough to validate the exporter in tests)
+ * plus a typed view of the trace events for examples/trace_dump.
+ */
+#ifndef LLMNPU_OBS_TRACE_READER_H
+#define LLMNPU_OBS_TRACE_READER_H
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace llmnpu {
+namespace obs {
+
+/** One parsed JSON value. Numbers are doubles (trace values all fit). */
+struct JsonValue {
+    enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+    Type type = Type::kNull;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<JsonValue> array;
+    /** Insertion order is not preserved; trace tooling keys by name. */
+    std::map<std::string, JsonValue> object;
+
+    bool Has(const std::string& key) const;
+    /** The member, which must exist (checked). */
+    const JsonValue& At(const std::string& key) const;
+};
+
+/**
+ * Parses a complete JSON document. @return true and fills `out` on
+ * success; false with a position/diagnostic in `error` on malformed input
+ * (including trailing garbage).
+ */
+bool ParseJson(const std::string& text, JsonValue* out,
+               std::string* error);
+
+/** One trace event in reader form. */
+struct ReadEvent {
+    std::string ph;    ///< "X", "i", "C", "M"
+    std::string name;
+    std::string cat;
+    int pid = 0;
+    int tid = 0;
+    double ts_us = 0.0;
+    double dur_us = 0.0;
+    std::map<std::string, JsonValue> args;
+};
+
+/** The decoded trace document. */
+struct ReadTrace {
+    std::vector<ReadEvent> events;
+    std::map<int, std::string> process_names;           ///< pid -> name
+    std::map<std::pair<int, int>, std::string> thread_names;
+    JsonValue other_data;  ///< the exporter's "otherData" object
+};
+
+/**
+ * Parses an exported trace file's contents. @return true on success;
+ * false with `error` set when the JSON is malformed or the document lacks
+ * the trace-event structure.
+ */
+bool ReadChromeTrace(const std::string& text, ReadTrace* out,
+                     std::string* error);
+
+}  // namespace obs
+}  // namespace llmnpu
+
+#endif  // LLMNPU_OBS_TRACE_READER_H

@@ -1,7 +1,8 @@
 #include "src/serving/metrics.h"
 
+#include "src/obs/histogram.h"
+#include "src/obs/metrics.h"
 #include "src/util/format.h"
-#include "src/util/stats.h"
 
 namespace llmnpu {
 
@@ -13,8 +14,24 @@ BuildReport(const std::vector<RequestRecord>& records, double makespan_ms,
     report.makespan_ms = makespan_ms;
     report.preemptions = preemptions;
 
-    std::vector<double> ttft, e2e;
-    RunningStat tpot, queueing;
+    // Per-request latency samples live in the process-wide registry
+    // ("serving.*" histograms); the report quantiles below are thin reads
+    // of them, so a trace export carries the same numbers. Each report
+    // rebuilds the histograms from its record set (last-writer wins).
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    obs::Histogram& ttft = reg.GetHistogram("serving.ttft_ms",
+                                            obs::DefaultLatencyBucketsMs());
+    obs::Histogram& e2e = reg.GetHistogram("serving.e2e_ms",
+                                           obs::DefaultLatencyBucketsMs());
+    obs::Histogram& tpot = reg.GetHistogram("serving.tpot_ms",
+                                            obs::DefaultLatencyBucketsMs());
+    obs::Histogram& queueing = reg.GetHistogram(
+        "serving.queueing_ms", obs::DefaultLatencyBucketsMs());
+    ttft.Reset();
+    e2e.Reset();
+    tpot.Reset();
+    queueing.Reset();
+
     int met_slo = 0;
     int64_t tokens_out = 0;
     for (const RequestRecord& record : records) {
@@ -27,22 +44,22 @@ BuildReport(const std::vector<RequestRecord>& records, double makespan_ms,
         tokens_out += record.tokens_out;
         if (!record.Completed()) continue;
         ++report.completed;
-        ttft.push_back(record.TtftMs());
-        e2e.push_back(record.E2eMs());
+        ttft.Add(record.TtftMs());
+        e2e.Add(record.E2eMs());
         tpot.Add(record.TpotMs());
         queueing.Add(record.QueueingMs());
         met_slo += record.MetSlo() ? 1 : 0;
     }
     // Each block below is guarded only by its own denominator, so a
     // degenerate run (all rejected, nothing completed, zero makespan)
-    // still yields an all-defined report: Percentile and RunningStat both
-    // return 0.0 on empty samples, never NaN.
-    report.ttft_p50_ms = Percentile(ttft, 50.0);
-    report.ttft_p95_ms = Percentile(ttft, 95.0);
-    report.ttft_p99_ms = Percentile(ttft, 99.0);
-    report.e2e_p50_ms = Percentile(e2e, 50.0);
-    report.e2e_p95_ms = Percentile(e2e, 95.0);
-    report.e2e_p99_ms = Percentile(e2e, 99.0);
+    // still yields an all-defined report: Histogram percentiles and means
+    // both return 0.0 on empty samples, never NaN.
+    report.ttft_p50_ms = ttft.Percentile(50.0);
+    report.ttft_p95_ms = ttft.Percentile(95.0);
+    report.ttft_p99_ms = ttft.Percentile(99.0);
+    report.e2e_p50_ms = e2e.Percentile(50.0);
+    report.e2e_p95_ms = e2e.Percentile(95.0);
+    report.e2e_p99_ms = e2e.Percentile(99.0);
     report.tpot_mean_ms = tpot.mean();
     report.queueing_mean_ms = queueing.mean();
     if (makespan_ms > 0.0) {

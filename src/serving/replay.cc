@@ -4,6 +4,7 @@
 #include <cstring>
 #include <map>
 
+#include "src/obs/trace.h"
 #include "src/util/check.h"
 #include "src/util/format.h"
 #include "src/util/rng.h"
@@ -123,7 +124,13 @@ ReplayTraceImpl(const std::vector<ReplayStep>& steps,
                 state.hidden_rows.clear();
                 state.logit_rows.clear();
             }
-            if (state.slot < 0) state.slot = cache.AddSequence();
+            if (state.slot < 0) {
+                state.slot = cache.AddSequence();
+                // The join key between the serving plane (request ids) and
+                // the numeric plane (cache slots): args carry both.
+                LLMNPU_TRACE_INSTANT_ID("replay.seq_map", "replay", id,
+                                        state.slot, -1);
+            }
             LLMNPU_CHECK_EQ(state.chunks_done, step.chunk_index);
             batch.push_back({state.slot,
                              ChunkTokens(state.prompt, step.chunk_index,
@@ -163,8 +170,15 @@ ReplayTraceImpl(const std::vector<ReplayStep>& steps,
             }
             backend->SetStepPlacements(std::move(step_placements));
         }
-        Tensor hidden = model.ForwardBatch(batch, cache, linears);
-        Tensor logits = model.Logits(hidden);
+        Tensor hidden, logits;
+        {
+            LLMNPU_TRACE_SPAN_TILE(
+                step.is_prefill ? "replay.prefill" : "replay.decode",
+                "replay", member_ids.front(), batch.front().seq, -1,
+                "batch", static_cast<int>(batch.size()));
+            hidden = model.ForwardBatch(batch, cache, linears);
+            logits = model.Logits(hidden);
+        }
         ++outcome.steps_executed;
         outcome.stacked_rows += hidden.Rows();
         if (step.is_prefill) {

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/check.h"
 #include "src/util/format.h"
 
@@ -63,6 +66,25 @@ ServingSimulator::Run()
     ServingResult result;
     result.records.reserve(static_cast<size_t>(options_.num_requests));
 
+    // ---- Registry bookkeeping. The KV-occupancy peak and the eviction
+    // count live in the process-wide registry; the ServingResult fields
+    // are read back from it at the end of the run (thin reads), so the
+    // registry is the single source of truth. Sim-lane trace events carry
+    // virtual timestamps and are recorded only while tracing is on.
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    obs::Gauge& kv_gauge = reg.GetGauge("sim.kv_used_pages");
+    obs::Counter& evict_counter = reg.GetCounter("sim.evictions");
+    obs::Counter& preempt_counter = reg.GetCounter("sim.preemptions");
+    obs::Counter& reject_counter = reg.GetCounter("sim.rejections");
+    const int64_t evict_base = evict_counter.value();
+    kv_gauge.Set(0.0);
+    kv_gauge.ResetPeak();
+    auto sim_emit = [&](obs::SimEvent event) {
+        if (obs::TraceEnabled()) {
+            obs::Tracer::Global().RecordSim(std::move(event));
+        }
+    };
+
     // ---- Arrival stream. Open loop: the whole Poisson trace up front.
     // Closed loop: a sampler plus a list of scheduled client wake-ups.
     RequestSampler sampler(mix_, options_.seed);
@@ -117,17 +139,27 @@ ServingSimulator::Run()
     double kv_integral = 0.0;  // pages x ms, for the time-mean occupancy
     result.kv_pool_pages = options_.kv_pool_pages;
 
+    auto kv_note_usage = [&]() {
+        kv_gauge.Set(static_cast<double>(kv_used));
+        obs::SimEvent event;
+        event.name = "sim.kv_used_pages";
+        event.phase = obs::TracePhase::kCounter;
+        event.t0_ms = now;
+        event.value = static_cast<double>(kv_used);
+        sim_emit(std::move(event));
+    };
     auto kv_take = [&](int id, int64_t pages) {
         kv_free -= pages;
         kv_used += pages;
         kv_held[static_cast<size_t>(id)] += pages;
-        result.kv_pages_peak = std::max(result.kv_pages_peak, kv_used);
+        kv_note_usage();
     };
     auto kv_drop_all = [&](int id) {
         int64_t& held = kv_held[static_cast<size_t>(id)];
         kv_free += held;
         kv_used -= held;
         held = 0;
+        kv_note_usage();
     };
 
     auto admit = [&](const ArrivalEvent& event) {
@@ -155,6 +187,12 @@ ServingSimulator::Run()
             result.records.push_back(record);
             kv_held.push_back(0);
             ++result.rejected;
+            reject_counter.Add(1);
+            obs::SimEvent ev;
+            ev.name = "sim.reject";
+            ev.t0_ms = event.arrival_ms;
+            ev.req = record.request.id;
+            sim_emit(std::move(ev));
             // A closed-loop client whose request was refused comes back
             // after its think time, same as after a completion.
             if (options_.closed_loop && issued < options_.num_requests) {
@@ -170,6 +208,11 @@ ServingSimulator::Run()
         pending.id = record.request.id;
         pending.profile = &costs_.Costs(event.request);
         prefill_queue.push_back(pending);
+        obs::SimEvent ev;
+        ev.name = "sim.arrive";
+        ev.t0_ms = event.arrival_ms;
+        ev.req = record.request.id;
+        sim_emit(std::move(ev));
     };
 
     auto start_chunk_if_idle = [&]() {
@@ -231,9 +274,15 @@ ServingSimulator::Run()
             // The chunk's float stages steal decode bandwidth from the
             // step already in flight: that's a preemption.
             ++result.preemptions;
+            preempt_counter.Add(1);
             for (int id : step_members) {
                 ++result.records[static_cast<size_t>(id)].preemptions;
             }
+            obs::SimEvent ev;
+            ev.name = "sim.preempt";
+            ev.t0_ms = now;
+            ev.req = npu_job.id;
+            sim_emit(std::move(ev));
         }
     };
 
@@ -322,6 +371,18 @@ ServingSimulator::Run()
                  Unit::kNpu, npu_end - npu_start, {}, npu_job.next_chunk,
                  -1});
             result.trace.records.push_back({npu_start, npu_end});
+            {
+                obs::SimEvent ev;
+                ev.name = StrFormat("req%d.chunk%d", npu_job.id,
+                                    npu_job.next_chunk);
+                ev.phase = obs::TracePhase::kSpan;
+                ev.lane = obs::SimLane::kNpu;
+                ev.t0_ms = npu_start;
+                ev.t1_ms = npu_end;
+                ev.req = npu_job.id;
+                ev.args_json = StrFormat("\"chunk\": %d", npu_job.next_chunk);
+                sim_emit(std::move(ev));
+            }
             result.replay_steps.push_back(
                 {/*is_prefill=*/true,
                  {npu_job.id},
@@ -354,6 +415,18 @@ ServingSimulator::Run()
                            step_members.size()),
                  Unit::kCpu, elapsed, {}, -1, -1});
             result.trace.records.push_back({step_start, now});
+            {
+                obs::SimEvent ev;
+                ev.name = StrFormat("decode.step%d", step_counter);
+                ev.phase = obs::TracePhase::kSpan;
+                ev.lane = obs::SimLane::kDecode;
+                ev.t0_ms = step_start;
+                ev.t1_ms = now;
+                ev.args_json = StrFormat(
+                    "\"batch\": %d",
+                    static_cast<int>(step_members.size()));
+                sim_emit(std::move(ev));
+            }
             result.replay_steps.push_back(
                 {/*is_prefill=*/false, step_members, -1, 0});
             ++step_counter;
@@ -367,9 +440,19 @@ ServingSimulator::Run()
                 // request's re-decode must not reset it.
                 if (record.tokens_out == 1 && record.first_token_ms < 0.0) {
                     record.first_token_ms = now;
+                    obs::SimEvent ev;
+                    ev.name = "sim.first_token";
+                    ev.t0_ms = now;
+                    ev.req = id;
+                    sim_emit(std::move(ev));
                 }
                 if (record.tokens_out >= record.request.output_len) {
                     record.finish_ms = now;
+                    obs::SimEvent ev;
+                    ev.name = "sim.complete";
+                    ev.t0_ms = now;
+                    ev.req = id;
+                    sim_emit(std::move(ev));
                     decode_pool.erase(std::find(decode_pool.begin(),
                                                 decode_pool.end(), id));
                     kv_drop_all(id);
@@ -405,7 +488,12 @@ ServingSimulator::Run()
                     vrec.tokens_out = 0;
                     vrec.prefill_done_ms = -1.0;
                     ++vrec.evictions;
-                    ++result.evictions;
+                    evict_counter.Add(1);
+                    obs::SimEvent ev;
+                    ev.name = "sim.evict";
+                    ev.t0_ms = now;
+                    ev.req = victim;
+                    sim_emit(std::move(ev));
                 };
                 const auto grower_at = std::find(decode_pool.begin(),
                                                  decode_pool.end(), grower);
@@ -469,7 +557,14 @@ ServingSimulator::Run()
                     vrec.tokens_out = 0;
                     vrec.prefill_done_ms = -1.0;
                     ++vrec.evictions;
-                    ++result.evictions;
+                    evict_counter.Add(1);
+                    {
+                        obs::SimEvent ev;
+                        ev.name = "sim.evict";
+                        ev.t0_ms = now;
+                        ev.req = id;
+                        sim_emit(std::move(ev));
+                    }
                     PendingPrefill again;
                     again.id = id;
                     again.profile = &costs_.Costs(vrec.request.AsInference());
@@ -489,6 +584,12 @@ ServingSimulator::Run()
     if (result.makespan_ms > 0.0) {
         result.kv_pages_mean = kv_integral / result.makespan_ms;
     }
+
+    // Thin reads back from the registry: peak occupancy came from the
+    // gauge watermark, evictions from the counter delta over this run.
+    result.kv_pages_peak = static_cast<int64_t>(kv_gauge.peak());
+    result.evictions =
+        static_cast<int>(evict_counter.value() - evict_base);
 
     // ---- Finalize the execution trace as a TimelineResult so the shared
     // schedule-validity helpers apply (per-unit busy, spans, makespan).

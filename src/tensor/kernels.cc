@@ -27,6 +27,7 @@
 #include <immintrin.h>
 #endif
 
+#include "src/obs/trace.h"
 #include "src/tensor/matmul.h"
 #include "src/util/threadpool.h"
 
@@ -355,7 +356,11 @@ MatMulF32Packed(const Tensor& a, const PackedWeightsF32& w)
     Tensor c({m, n}, DType::kF32);
     const float* pa = a.Data<float>();
     float* pc = c.Data<float>();
+    LLMNPU_TRACE_SPAN_TILE("matmul.f32", "kernel", -1, -1, -1, "m",
+                           static_cast<int>(m));
     RowParallel(m, k * n, [&](int64_t r0, int64_t r1) {
+        LLMNPU_TRACE_SPAN_TILE("matmul.f32.rows", "kernel", -1, -1, -1,
+                               "rows", static_cast<int>(r1 - r0));
         TiledF32Rows(pa, k, w, pc, r0, r1);
     });
     return c;
@@ -398,7 +403,11 @@ MatMulW8A8PerTensorPacked(const Tensor& a_q, float a_scale,
     const bool uniform = w.scales.size() == 1;
     const float ws0 = w.scales.empty() ? 1.0f : w.scales[0];
     const float* ws = w.scales.data();
+    LLMNPU_TRACE_SPAN_TILE("matmul.w8a8", "kernel", -1, -1, -1, "m",
+                           static_cast<int>(m));
     RowParallel(m, k * n, [&](int64_t r0, int64_t r1) {
+        LLMNPU_TRACE_SPAN_TILE("matmul.w8a8.rows", "kernel", -1, -1, -1,
+                               "rows", static_cast<int>(r1 - r0));
         TiledI8Rows(
             pa, k, w, pc, r0, r1, [&](int64_t) { return a_scale; },
             [&](int64_t j) {
@@ -437,7 +446,11 @@ MatMulW8A8RowCol(const Tensor& a_q, const std::vector<float>& a_scales,
     float* pc = c.Data<float>();
     const float* as = a_scales.data();
     const float* ws = w_scales.data();
+    LLMNPU_TRACE_SPAN_TILE("matmul.w8a8_rowcol", "kernel", -1, -1, -1,
+                           "m", static_cast<int>(m));
     RowParallel(m, k * n, [&](int64_t r0, int64_t r1) {
+        LLMNPU_TRACE_SPAN_TILE("matmul.w8a8_rowcol.rows", "kernel", -1,
+                               -1, -1, "rows", static_cast<int>(r1 - r0));
         TiledI8Rows(
             pa, k, w, pc, r0, r1,
             [&](int64_t row) { return as[static_cast<size_t>(row)]; },
@@ -463,7 +476,11 @@ MatMulPerGroup(const Tensor& a, const PerGroupWeights& w)
     const float* pa = a.Data<float>();
     float* pc = c.Data<float>();
 
+    LLMNPU_TRACE_SPAN_TILE("matmul.pergroup", "kernel", -1, -1, -1, "m",
+                           static_cast<int>(m));
     RowParallel(m, k * n, [&](int64_t r0, int64_t r1) {
+        LLMNPU_TRACE_SPAN_TILE("matmul.pergroup.rows", "kernel", -1, -1,
+                               -1, "rows", static_cast<int>(r1 - r0));
         // Per-participant scratch: a kMR-row block is quantized up front,
         // then one pass over the panels, so the int8 panel widening inside
         // the micro-kernel is amortized over the whole row block.

@@ -1,7 +1,12 @@
 #include "src/util/threadpool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/util/format.h"
 
 namespace llmnpu {
 
@@ -10,6 +15,32 @@ namespace {
 /** True inside a pool worker (or inside a running ParallelFor body): nested
  *  parallel regions run inline instead of deadlocking on the shared pool. */
 thread_local bool tls_in_parallel = false;
+
+/** 0 = not a pool worker; workers get 1..N at spawn, fixed for life. */
+thread_local int tls_worker_id = 0;
+
+/** Per-thread busy-time counter, resolved once per thread (the registry
+ *  lookup takes a mutex; block execution must not). */
+obs::Counter&
+BusyCounterForThisThread()
+{
+    thread_local obs::Counter* counter =
+        &obs::MetricsRegistry::Global().GetCounter(
+            tls_worker_id == 0
+                ? "threadpool.busy_ns.caller"
+                : StrFormat("threadpool.busy_ns.pool-worker-%d",
+                            tls_worker_id));
+    return *counter;
+}
+
+/** Remaining blocks of the in-flight job (updated under the pool mutex). */
+obs::Gauge&
+QueueDepthGauge()
+{
+    static obs::Gauge* gauge =
+        &obs::MetricsRegistry::Global().GetGauge("threadpool.queue_depth");
+    return *gauge;
+}
 
 }  // namespace
 
@@ -36,6 +67,12 @@ ThreadPool::RequestedThreads()
         std::min<unsigned>(hw, static_cast<unsigned>(kMaxThreads)));
 }
 
+int
+ThreadPool::CurrentWorkerId()
+{
+    return tls_worker_id;
+}
+
 ThreadPool::~ThreadPool()
 {
     {
@@ -50,14 +87,18 @@ void
 ThreadPool::EnsureWorkersLocked(int count)
 {
     while (static_cast<int>(workers_.size()) < count) {
-        workers_.emplace_back([this] { WorkerLoop(); });
+        const int worker_id = static_cast<int>(workers_.size()) + 1;
+        workers_.emplace_back([this, worker_id] { WorkerLoop(worker_id); });
     }
 }
 
 void
-ThreadPool::WorkerLoop()
+ThreadPool::WorkerLoop(int worker_id)
 {
     tls_in_parallel = true;  // anything fn() spawns runs inline
+    tls_worker_id = worker_id;
+    obs::Tracer::SetThreadName(
+        StrFormat("pool-worker-%d", worker_id));
     uint64_t seen = 0;
     std::unique_lock<std::mutex> lock(mu_);
     for (;;) {
@@ -74,6 +115,8 @@ ThreadPool::WorkerLoop()
 void
 ThreadPool::RunBlocks(uint64_t id)
 {
+    obs::Counter& busy_ns = BusyCounterForThisThread();
+    obs::Gauge& queue_depth = QueueDepthGauge();
     for (;;) {
         int block;
         int blocks;
@@ -88,8 +131,14 @@ ThreadPool::RunBlocks(uint64_t id)
             blocks = job_blocks_;
             n = job_n_;
             fn = job_fn_;
+            queue_depth.Set(
+                static_cast<double>(job_blocks_ - next_block_));
         }
+        const auto t0 = std::chrono::steady_clock::now();
         (*fn)(n * block / blocks, n * (block + 1) / blocks);
+        busy_ns.Add(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count());
         {
             std::lock_guard<std::mutex> lock(mu_);
             // The job cannot have changed: the submitter is blocked until
@@ -117,6 +166,12 @@ ThreadPool::ParallelFor(int64_t n, int64_t grain,
     // concurrently waits here (it is never needed for the first job's
     // progress, so this cannot deadlock).
     std::lock_guard<std::mutex> submit_lock(submit_mu_);
+
+    {
+        static obs::Counter* jobs =
+            &obs::MetricsRegistry::Global().GetCounter("threadpool.jobs");
+        jobs->Add(1);
+    }
 
     uint64_t id;
     {

@@ -107,9 +107,19 @@ class ThreadPool
         return static_cast<int>(workers_.size());
     }
 
+    /**
+     * Stable id of the calling thread within the pool: 0 for any thread
+     * that is not a pool worker (the ParallelFor caller included), 1..N
+     * for workers, fixed for the worker's lifetime. Tile-level trace
+     * spans land in the matching per-thread tracer buffer, so "which
+     * thread ran this tile" is answerable from the trace (the workers
+     * also register tracer thread names "pool-worker-<id>").
+     */
+    static int CurrentWorkerId();
+
   private:
     void EnsureWorkersLocked(int count);
-    void WorkerLoop();
+    void WorkerLoop(int worker_id);
     /** Executes blocks of job `id` until the job is exhausted. */
     void RunBlocks(uint64_t id);
 

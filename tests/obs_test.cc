@@ -1,0 +1,449 @@
+/**
+ * @file
+ * Observability plane: tracer ring semantics (wrap, drop accounting,
+ * multi-threaded emission), Chrome trace-event export validated by the
+ * in-tree JSON reader, the metrics registry under concurrency, the one
+ * shared quantile implementation (golden values matching util_test), and
+ * the compile-time disabled path.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/obs/histogram.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/obs/trace_reader.h"
+#include "src/util/stats.h"
+#include "src/util/threadpool.h"
+
+namespace llmnpu {
+namespace obs_test {
+int EmitThroughDisabledMacros();  // tests/obs_trace_disabled.cc
+}
+
+namespace {
+
+using obs::Tracer;
+
+/** Fresh tracer state for one test (each discovered test is its own
+ *  process, but be explicit anyway). */
+void
+FreshTracer(size_t capacity = Tracer::kDefaultCapacity)
+{
+    Tracer::Global().Disable();
+    Tracer::Global().Enable(capacity);
+    Tracer::Global().Reset();
+}
+
+// ---------------------------------------------------------------- quantiles
+
+// Golden values mirror tests/util_test.cc exactly: Percentile() in
+// util/stats.h is a thin alias of obs::SamplePercentile, and this pins
+// that the migration kept the math bit-identical.
+TEST(SamplePercentileTest, MatchesUtilStatsGoldens)
+{
+    const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 5.0};
+    EXPECT_DOUBLE_EQ(obs::SamplePercentile(xs, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(obs::SamplePercentile(xs, 50.0), 3.0);
+    EXPECT_DOUBLE_EQ(obs::SamplePercentile(xs, 100.0), 5.0);
+    EXPECT_DOUBLE_EQ(obs::SamplePercentile({0.0, 10.0}, 25.0), 2.5);
+    EXPECT_DOUBLE_EQ(obs::SamplePercentile({}, 50.0), 0.0);
+    // The util-layer alias routes here.
+    EXPECT_DOUBLE_EQ(Percentile(xs, 50.0), obs::SamplePercentile(xs, 50.0));
+}
+
+TEST(SamplePercentileTest, UnsortedInputIsSorted)
+{
+    EXPECT_DOUBLE_EQ(obs::SamplePercentile({5.0, 1.0, 3.0, 2.0, 4.0}, 50.0),
+                     3.0);
+}
+
+// --------------------------------------------------------------- histogram
+
+TEST(HistogramTest, CountSumMeanMinMax)
+{
+    obs::Histogram h({1.0, 10.0, 100.0});
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    h.Add(0.5);
+    h.Add(5.0);
+    h.Add(50.0);
+    h.Add(500.0);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_DOUBLE_EQ(h.sum(), 555.5);
+    EXPECT_DOUBLE_EQ(h.mean(), 555.5 / 4.0);
+    EXPECT_DOUBLE_EQ(h.min(), 0.5);
+    EXPECT_DOUBLE_EQ(h.max(), 500.0);
+    // One sample per bucket: (-inf,1), [1,10), [10,100), [100,+inf).
+    const std::vector<int64_t> buckets = h.BucketCounts();
+    ASSERT_EQ(buckets.size(), 4u);
+    for (int64_t c : buckets) EXPECT_EQ(c, 1);
+}
+
+TEST(HistogramTest, PercentileUsesExactSamples)
+{
+    obs::Histogram h(obs::DefaultLatencyBucketsMs());
+    for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) h.Add(x);
+    EXPECT_DOUBLE_EQ(h.Percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(h.Percentile(50.0), 3.0);
+    EXPECT_DOUBLE_EQ(h.Percentile(100.0), 5.0);
+}
+
+TEST(HistogramTest, ResetClearsEverything)
+{
+    obs::Histogram h({1.0});
+    h.Add(2.0);
+    h.Reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+    EXPECT_DOUBLE_EQ(h.Percentile(50.0), 0.0);
+    for (int64_t c : h.BucketCounts()) EXPECT_EQ(c, 0);
+}
+
+TEST(HistogramTest, DefaultLatencyBucketsAscend)
+{
+    const std::vector<double> bounds = obs::DefaultLatencyBucketsMs();
+    ASSERT_GT(bounds.size(), 4u);
+    for (size_t i = 1; i < bounds.size(); ++i) {
+        EXPECT_LT(bounds[i - 1], bounds[i]);
+    }
+}
+
+// ---------------------------------------------------------------- registry
+
+TEST(MetricsRegistryTest, StableAddressesAndKinds)
+{
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    obs::Counter& c1 = reg.GetCounter("obs_test.stable");
+    obs::Counter& c2 = reg.GetCounter("obs_test.stable");
+    EXPECT_EQ(&c1, &c2);
+    obs::Gauge& g1 = reg.GetGauge("obs_test.gauge");
+    EXPECT_EQ(&g1, &reg.GetGauge("obs_test.gauge"));
+    obs::Histogram& h1 =
+        reg.GetHistogram("obs_test.hist", obs::DefaultLatencyBucketsMs());
+    EXPECT_EQ(&h1, &reg.GetHistogram("obs_test.hist"));
+}
+
+TEST(MetricsRegistryTest, GaugePeakWatermark)
+{
+    obs::Gauge& g = obs::MetricsRegistry::Global().GetGauge("obs_test.peak");
+    g.Reset();
+    g.Set(3.0);
+    g.Set(7.0);
+    g.Set(2.0);
+    EXPECT_DOUBLE_EQ(g.value(), 2.0);
+    EXPECT_DOUBLE_EQ(g.peak(), 7.0);
+    g.ResetPeak();
+    EXPECT_DOUBLE_EQ(g.peak(), 2.0);
+}
+
+TEST(MetricsRegistryTest, CounterExactUnderParallelFor)
+{
+    obs::Counter& c =
+        obs::MetricsRegistry::Global().GetCounter("obs_test.concurrent");
+    c.Reset();
+    ScopedNumThreads threads(4);
+    const int64_t n = 100000;
+    ThreadPool::Global().ParallelFor(n, 1, [&](int64_t b, int64_t e) {
+        for (int64_t i = b; i < e; ++i) c.Add(1);
+    });
+    EXPECT_EQ(c.value(), n);
+}
+
+TEST(MetricsRegistryTest, DumpJsonParses)
+{
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    reg.GetCounter("obs_test.dump_counter").Add(3);
+    reg.GetGauge("obs_test.dump_gauge").Set(1.5);
+    reg.GetHistogram("obs_test.dump_hist", obs::DefaultLatencyBucketsMs())
+        .Add(2.0);
+    obs::JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(obs::ParseJson(reg.DumpJson(), &doc, &error)) << error;
+    ASSERT_EQ(doc.type, obs::JsonValue::Type::kObject);
+    EXPECT_DOUBLE_EQ(
+        doc.At("counters").At("obs_test.dump_counter").number, 3.0);
+    EXPECT_DOUBLE_EQ(
+        doc.At("gauges").At("obs_test.dump_gauge").At("value").number, 1.5);
+    EXPECT_DOUBLE_EQ(
+        doc.At("histograms").At("obs_test.dump_hist").At("count").number,
+        1.0);
+}
+
+// ------------------------------------------------------------- tracer rings
+
+TEST(TracerTest, OffByDefaultMacrosRecordNothing)
+{
+    Tracer::Global().Disable();
+    Tracer::Global().Reset();
+    const uint64_t before = Tracer::Global().TotalRecorded();
+    LLMNPU_TRACE_INSTANT("obs_test.noop", "test");
+    { LLMNPU_TRACE_SPAN("obs_test.noop_span", "test"); }
+    LLMNPU_TRACE_COUNTER("obs_test.noop_counter", 1.0);
+    EXPECT_EQ(Tracer::Global().TotalRecorded(), before);
+}
+
+TEST(TracerTest, RingWrapKeepsNewestAndCountsDropped)
+{
+    FreshTracer(/*capacity=*/8);
+    for (int i = 0; i < 20; ++i) {
+        obs::EmitInstant("obs_test.wrap", "test", /*req=*/i);
+    }
+    EXPECT_EQ(Tracer::Global().TotalRecorded(), 20u);
+    EXPECT_EQ(Tracer::Global().TotalDropped(), 12u);
+    EXPECT_EQ(Tracer::Global().TotalStored(), 8u);
+    const std::vector<obs::TraceEvent> events =
+        Tracer::Global().StoredEvents();
+    ASSERT_EQ(events.size(), 8u);
+    // Flight recorder: the newest 8 events survive, oldest first.
+    for (size_t i = 0; i < events.size(); ++i) {
+        EXPECT_EQ(events[i].req, static_cast<int32_t>(12 + i));
+    }
+}
+
+// The remaining tracer tests record through the LLMNPU_TRACE_* macros,
+// which are no-ops in a -DLLMNPU_TRACE=OFF build — there the no-op
+// contract itself is still covered by OffByDefaultMacrosRecordNothing
+// and TraceDisabledTest below.
+#if LLMNPU_TRACE_ENABLED
+
+TEST(TracerTest, ScopedSpanRecordsOrderedTimestamps)
+{
+    FreshTracer();
+    {
+        LLMNPU_TRACE_SPAN_TILE("obs_test.span", "test", 7, 3, 2, "head",
+                               5);
+        volatile double sink = 0.0;
+        for (int i = 0; i < 1000; ++i) sink += i;
+        (void)sink;
+    }
+    const std::vector<obs::TraceEvent> events =
+        Tracer::Global().StoredEvents();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_STREQ(events[0].name, "obs_test.span");
+    EXPECT_EQ(events[0].phase, obs::TracePhase::kSpan);
+    EXPECT_GE(events[0].t1_ns, events[0].t0_ns);
+    EXPECT_EQ(events[0].req, 7);
+    EXPECT_EQ(events[0].seq, 3);
+    EXPECT_EQ(events[0].layer, 2);
+    EXPECT_EQ(events[0].extra, 5);
+}
+
+TEST(TracerTest, MultiThreadedEmissionUnderParallelFor)
+{
+    FreshTracer();
+    ScopedNumThreads threads(4);
+    const int64_t n = 256;
+    ThreadPool::Global().ParallelFor(n, 1, [&](int64_t b, int64_t e) {
+        for (int64_t i = b; i < e; ++i) {
+            LLMNPU_TRACE_SPAN_TILE("obs_test.tile", "test", -1, -1, -1,
+                                   "i", static_cast<int>(i));
+        }
+    });
+    // ParallelFor is synchronous, so the pool is quiescent here and the
+    // introspection below is race-free (the TSan CI job runs this test).
+    EXPECT_GE(Tracer::Global().TotalRecorded(), static_cast<uint64_t>(n));
+    EXPECT_GE(Tracer::Global().NumThreadBuffers(), 1u);
+    int tiles = 0;
+    for (const obs::TraceEvent& e : Tracer::Global().StoredEvents()) {
+        if (std::string(e.name) == "obs_test.tile") ++tiles;
+    }
+    EXPECT_EQ(tiles, static_cast<int>(n));
+}
+
+#endif  // LLMNPU_TRACE_ENABLED
+
+TEST(TracerTest, CurrentWorkerIdStableAndBounded)
+{
+    EXPECT_EQ(ThreadPool::CurrentWorkerId(), 0);  // caller is not a worker
+    ScopedNumThreads threads(4);
+    std::vector<int> seen(ThreadPool::kMaxThreads + 1, 0);
+    std::mutex mu;
+    ThreadPool::Global().ParallelFor(64, 1, [&](int64_t, int64_t) {
+        const int id = ThreadPool::CurrentWorkerId();
+        std::lock_guard<std::mutex> lock(mu);
+        ASSERT_GE(id, 0);
+        ASSERT_LE(id, ThreadPool::kMaxThreads);
+        seen[static_cast<size_t>(id)] = 1;
+    });
+    EXPECT_EQ(ThreadPool::CurrentWorkerId(), 0);
+}
+
+// ----------------------------------------------------------------- export
+
+// The export tests populate the trace through the macros, so they also
+// only exist when tracing is compiled in.
+#if LLMNPU_TRACE_ENABLED
+
+TEST(TraceExportTest, SchemaValidatesWithInTreeReader)
+{
+    FreshTracer();
+    {
+        LLMNPU_TRACE_SPAN_ID("obs_test.export_span", "test", 11, 2, 1);
+    }
+    LLMNPU_TRACE_INSTANT("obs_test.export_instant", "test");
+    LLMNPU_TRACE_COUNTER("obs_test.export_counter", 4.5);
+
+    obs::SimEvent chunk;
+    chunk.name = "req11.chunk0";
+    chunk.phase = obs::TracePhase::kSpan;
+    chunk.lane = obs::SimLane::kNpu;
+    chunk.t0_ms = 1.0;
+    chunk.t1_ms = 2.5;
+    chunk.req = 11;
+    chunk.args_json = "\"chunk\": 0";
+    Tracer::Global().RecordSim(chunk);
+
+    obs::SimEvent evict;
+    evict.name = "sim.evict";
+    evict.t0_ms = 3.0;
+    evict.req = 11;
+    Tracer::Global().RecordSim(evict);
+
+    const std::string json = Tracer::Global().ChromeTraceJson();
+    obs::ReadTrace trace;
+    std::string error;
+    ASSERT_TRUE(obs::ReadChromeTrace(json, &trace, &error)) << error;
+
+    // Both planes present, with process names.
+    EXPECT_EQ(trace.process_names.count(1), 1u);
+    EXPECT_EQ(trace.process_names.count(2), 1u);
+
+    const obs::ReadEvent* span = nullptr;
+    const obs::ReadEvent* counter = nullptr;
+    const obs::ReadEvent* sim_chunk = nullptr;
+    const obs::ReadEvent* sim_evict = nullptr;
+    for (const obs::ReadEvent& e : trace.events) {
+        if (e.name == "obs_test.export_span") span = &e;
+        if (e.name == "obs_test.export_counter") counter = &e;
+        if (e.name == "req11.chunk0") sim_chunk = &e;
+        if (e.name == "sim.evict") sim_evict = &e;
+    }
+    ASSERT_NE(span, nullptr);
+    EXPECT_EQ(span->ph, "X");
+    EXPECT_EQ(span->pid, 1);
+    EXPECT_DOUBLE_EQ(span->args.at("req").number, 11.0);
+    EXPECT_DOUBLE_EQ(span->args.at("seq").number, 2.0);
+    EXPECT_DOUBLE_EQ(span->args.at("layer").number, 1.0);
+
+    ASSERT_NE(counter, nullptr);
+    EXPECT_EQ(counter->ph, "C");
+    EXPECT_DOUBLE_EQ(counter->args.at("value").number, 4.5);
+
+    ASSERT_NE(sim_chunk, nullptr);
+    EXPECT_EQ(sim_chunk->ph, "X");
+    EXPECT_EQ(sim_chunk->pid, 2);
+    EXPECT_EQ(sim_chunk->tid, static_cast<int>(obs::SimLane::kNpu));
+    // Virtual ms exported as microsecond ts units (ms * 1000).
+    EXPECT_DOUBLE_EQ(sim_chunk->ts_us, 1000.0);
+    EXPECT_DOUBLE_EQ(sim_chunk->dur_us, 1500.0);
+    EXPECT_DOUBLE_EQ(sim_chunk->args.at("req").number, 11.0);
+    EXPECT_DOUBLE_EQ(sim_chunk->args.at("chunk").number, 0.0);
+
+    ASSERT_NE(sim_evict, nullptr);
+    EXPECT_EQ(sim_evict->ph, "i");
+
+    // otherData carries tracer totals and a metrics snapshot.
+    EXPECT_TRUE(trace.other_data.Has("recorded"));
+    EXPECT_TRUE(trace.other_data.Has("dropped"));
+    EXPECT_TRUE(trace.other_data.Has("metrics"));
+}
+
+TEST(TraceExportTest, ThreadNamesExported)
+{
+    FreshTracer();
+    ScopedNumThreads threads(4);
+    // The "main" fallback name goes to the first registered buffer
+    // (tid 0); record once before the fan-out so the calling thread
+    // claims it regardless of worker scheduling.
+    LLMNPU_TRACE_INSTANT("obs_test.named", "test");
+    ThreadPool::Global().ParallelFor(64, 1, [&](int64_t, int64_t) {
+        LLMNPU_TRACE_INSTANT("obs_test.named", "test");
+    });
+    obs::ReadTrace trace;
+    std::string error;
+    ASSERT_TRUE(obs::ReadChromeTrace(Tracer::Global().ChromeTraceJson(),
+                                     &trace, &error))
+        << error;
+    std::set<std::string> names;
+    for (const auto& [key, name] : trace.thread_names) {
+        if (key.first == 1) names.insert(name);
+    }
+    // The caller's buffer is named "main"; any pool worker that recorded
+    // is named "pool-worker-<id>".
+    EXPECT_EQ(names.count("main"), 1u);
+    for (const std::string& name : names) {
+        EXPECT_TRUE(name == "main" ||
+                    name.rfind("pool-worker-", 0) == 0)
+            << name;
+    }
+}
+
+TEST(TraceExportTest, JsonEscapingSurvivesRoundTrip)
+{
+    FreshTracer();
+    LLMNPU_TRACE_INSTANT("obs_test.\"quoted\"\\name", "test");
+    obs::ReadTrace trace;
+    std::string error;
+    ASSERT_TRUE(obs::ReadChromeTrace(Tracer::Global().ChromeTraceJson(),
+                                     &trace, &error))
+        << error;
+    bool found = false;
+    for (const obs::ReadEvent& e : trace.events) {
+        if (e.name == "obs_test.\"quoted\"\\name") found = true;
+    }
+    EXPECT_TRUE(found);
+}
+
+#endif  // LLMNPU_TRACE_ENABLED
+
+// ------------------------------------------------------------- JSON parser
+
+TEST(JsonParserTest, RejectsMalformedDocuments)
+{
+    obs::JsonValue doc;
+    std::string error;
+    EXPECT_FALSE(obs::ParseJson("", &doc, &error));
+    EXPECT_FALSE(obs::ParseJson("{", &doc, &error));
+    EXPECT_FALSE(obs::ParseJson("{} trailing", &doc, &error));
+    EXPECT_FALSE(obs::ParseJson("{\"a\": nul}", &doc, &error));
+    EXPECT_FALSE(obs::ParseJson("[1, 2,]", &doc, &error));
+    EXPECT_FALSE(obs::ParseJson("\"bad \\q escape\"", &doc, &error));
+    EXPECT_FALSE(obs::ParseJson("01", &doc, &error));
+}
+
+TEST(JsonParserTest, ParsesNestedStructures)
+{
+    obs::JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(obs::ParseJson(
+        "{\"a\": [1, 2.5, true, null, \"x\\n\"], \"b\": {\"c\": -3}}",
+        &doc, &error))
+        << error;
+    EXPECT_EQ(doc.At("a").array.size(), 5u);
+    EXPECT_DOUBLE_EQ(doc.At("a").array[1].number, 2.5);
+    EXPECT_TRUE(doc.At("a").array[2].boolean);
+    EXPECT_EQ(doc.At("a").array[4].str, "x\n");
+    EXPECT_DOUBLE_EQ(doc.At("b").At("c").number, -3.0);
+}
+
+// -------------------------------------------------------- compile-time gate
+
+TEST(TraceDisabledTest, DisabledTuRecordsNothingAndNeverEvaluatesArgs)
+{
+    FreshTracer();
+    const uint64_t before = Tracer::Global().TotalRecorded();
+    // The TU below is compiled with LLMNPU_TRACE_DISABLED=1: even with the
+    // runtime flag on, its macros are no-ops and must not evaluate args.
+    const int evaluations = llmnpu::obs_test::EmitThroughDisabledMacros();
+    EXPECT_EQ(evaluations, 0);
+    EXPECT_EQ(Tracer::Global().TotalRecorded(), before);
+}
+
+}  // namespace
+}  // namespace llmnpu

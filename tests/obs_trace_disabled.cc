@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Compiled with LLMNPU_TRACE_DISABLED=1 (per-source definition in
+ * CMakeLists) while the rest of the obs_test binary has tracing compiled
+ * in. Proves the disabled macro variants (a) compile warning-clean, (b)
+ * never evaluate their arguments, and (c) record nothing even when the
+ * runtime flag is on — the compile-time gate wins.
+ */
+#include "src/obs/trace.h"
+
+#if LLMNPU_TRACE_ENABLED
+#error "this translation unit must be built with LLMNPU_TRACE_DISABLED"
+#endif
+
+namespace llmnpu {
+namespace obs_test {
+
+namespace {
+
+int g_evaluations = 0;
+
+const char*
+CountingName()
+{
+    ++g_evaluations;
+    return "disabled.should_not_appear";
+}
+
+}  // namespace
+
+/** Invokes every disabled macro variant; returns how many times the
+ *  argument expressions were evaluated (must be zero). */
+int
+EmitThroughDisabledMacros()
+{
+    g_evaluations = 0;
+    LLMNPU_TRACE_SPAN(CountingName(), "test");
+    LLMNPU_TRACE_SPAN_ID(CountingName(), "test", 1, 2, 3);
+    LLMNPU_TRACE_SPAN_TILE(CountingName(), "test", 1, 2, 3, "extra", 4);
+    LLMNPU_TRACE_INSTANT(CountingName(), "test");
+    LLMNPU_TRACE_INSTANT_ID(CountingName(), "test", 1, 2, 3);
+    LLMNPU_TRACE_COUNTER(CountingName(), 42.0);
+    return g_evaluations;
+}
+
+}  // namespace obs_test
+}  // namespace llmnpu
