@@ -21,6 +21,7 @@
  * untraced: their numbers feed the perf trajectory and must not carry
  * tracer ring writes.
  */
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
 
@@ -104,7 +105,7 @@ RunTracedScenario(const char* path, ServingCostModel& costs,
 }
 
 void
-Run(const char* trace_path)
+Run(const char* trace_path, uint64_t seed)
 {
     const bool smoke = std::getenv("LLMNPU_SERVING_SMOKE") != nullptr;
     BenchHeader(
@@ -128,8 +129,9 @@ Run(const char* trace_path)
     }
     const double capacity_rps = 1e3 / mean_prefill_ms;
     std::printf("\nMixture mean prefill occupancy %.1f ms -> NPU "
-                "saturation ~%.2f req/s\n\n",
-                mean_prefill_ms, capacity_rps);
+                "saturation ~%.2f req/s  (seed %llu)\n\n",
+                mean_prefill_ms, capacity_rps,
+                static_cast<unsigned long long>(seed));
 
     const std::vector<double> load_ratios =
         smoke ? std::vector<double>{0.5, 1.5}
@@ -151,7 +153,7 @@ Run(const char* trace_path)
             options.policy = policy;
             options.rate_rps = rate;
             options.num_requests = num_requests;
-            options.seed = 2026;
+            options.seed = seed;
             ServingSimulator sim(costs, mix, options);
             const ServingReport report = sim.Run().Report();
             table.AddRow({PolicyName(policy), StrFormat("%.1f", ratio),
@@ -231,7 +233,7 @@ Run(const char* trace_path)
             options.policy = SchedPolicy::kFcfs;
             options.rate_rps = (smoke ? 1.5 : 1.2) * capacity_rps;
             options.num_requests = num_requests;
-            options.seed = 2026;
+            options.seed = seed;
             options.max_decode_batch = depth;
             ServingSimulator sim(placed_costs, mix, options);
             const ServingReport report = sim.Run().Report();
@@ -277,7 +279,7 @@ Run(const char* trace_path)
             options.policy = SchedPolicy::kFcfs;
             options.rate_rps = kv_ratio * capacity_rps;
             options.num_requests = kv_requests;
-            options.seed = 2026;
+            options.seed = seed;
             options.kv_pool_pages = pool;
             options.kv_page_size = 16;
             ServingSimulator sim(costs, mix, options);
@@ -316,7 +318,7 @@ Run(const char* trace_path)
     closed.num_clients = smoke ? 2 : 6;
     closed.think_time_ms = 500.0;
     closed.num_requests = num_requests;
-    closed.seed = 2026;
+    closed.seed = seed;
     closed.policy = SchedPolicy::kFcfs;
     ServingSimulator closed_sim(costs, mix, closed);
     const ServingReport closed_report = closed_sim.Run().Report();
@@ -324,6 +326,104 @@ Run(const char* trace_path)
     EmitMetric("closed", closed.policy, 0.0, 0.0, closed_report,
                DecodePlacementName(engine.options().decode_placement),
                closed.max_decode_batch);
+
+    // Degraded-mode sweep: NPU fault rate x failover policy. Decode is
+    // placed on the NPU so chunk *and* decode dispatch faults bite; with
+    // the circuit breaker off ("none") requests retry until the budget
+    // sheds them, with it on ("breaker") their decode fails over to the
+    // packed-fp32 CPU path mid-stream. The rate-0 row is bit-identical to
+    // a fault-free run and is band-checked against the committed baseline.
+    {
+        std::printf("\nFault storm x failover policy (fcfs, NPU decode, "
+                    "load 0.8x capacity):\n");
+        LlmNpuOptions npu_options;
+        npu_options.decode_placement = DecodePlacement::kNpuQuant;
+        LlmNpuEngine npu_engine(npu_options);
+        ServingCostModel npu_costs(npu_engine, config, soc);
+        const int fault_requests = 24;  // pinned across smoke/full for CI
+        const std::vector<double> fault_rates =
+            smoke ? std::vector<double>{0.0, 0.5}
+                  : std::vector<double>{0.0, 0.1, 0.3, 0.5};
+        Table fault_table({"fault rate", "failover", "goodput", "faults",
+                           "retries", "shed", "failovers", "e2e p99"});
+        for (double rate : fault_rates) {
+            for (bool breaker : {false, true}) {
+                ServingOptions options;
+                options.policy = SchedPolicy::kFcfs;
+                options.rate_rps = 0.8 * capacity_rps;
+                options.num_requests = fault_requests;
+                options.seed = seed;
+                options.faults.seed = seed;
+                options.faults.chunk_failure_prob = rate * 0.6;
+                options.faults.chunk_stall_prob = rate * 0.3;
+                options.faults.decode_failure_prob = rate;
+                options.faults.circuit_breaker_k = breaker ? 3 : 0;
+                ServingSimulator sim(npu_costs, mix, options);
+                const ServingResult result = sim.Run();
+                const ServingReport report = result.Report();
+                const char* failover = breaker ? "breaker" : "none";
+                fault_table.AddRow(
+                    {StrFormat("%.1f", rate), failover,
+                     StrFormat("%.2f", report.goodput_rps),
+                     StrFormat("%d", report.faults),
+                     StrFormat("%d", report.retries),
+                     StrFormat("%d", report.shed),
+                     StrFormat("%d", report.failovers),
+                     HumanMs(report.e2e_p99_ms)});
+                std::printf(
+                    "METRIC {\"bench\": \"serving\", \"mode\": \"faults\", "
+                    "\"fault_rate\": %.2f, \"failover\": \"%s\", "
+                    "\"throughput_rps\": %.3f, \"goodput_rps\": %.3f, "
+                    "\"slo_attainment\": %.3f, \"faults\": %d, "
+                    "\"retries\": %d, \"shed\": %d, \"failovers\": %d, "
+                    "\"npu_faulted_frac\": %.3f, \"e2e_p99_ms\": %.1f}\n",
+                    rate, failover, report.throughput_rps,
+                    report.goodput_rps, report.slo_attainment,
+                    report.faults, report.retries, report.shed,
+                    report.failovers,
+                    result.makespan_ms > 0.0
+                        ? result.npu_faulted_ms / result.makespan_ms
+                        : 0.0,
+                    report.e2e_p99_ms);
+            }
+        }
+        fault_table.Print();
+    }
+
+    // Memory-pressure scenario: the live KV budget shrinks to 25% mid-run.
+    // The defense routes through the termination-safe eviction order, so
+    // the run completes and the post-shrink peak respects the live budget
+    // (the invariant CI asserts on this row).
+    {
+        std::printf("\nMid-run KV pool shrink (fcfs, 256 -> 64 pages):\n");
+        ServingOptions options;
+        options.policy = SchedPolicy::kFcfs;
+        // Arrivals burst in well ahead of the shrink so the pressure hits
+        // admitted, in-flight work (evictions + backpressure), not the
+        // admission check.
+        options.rate_rps = 10.0 * capacity_rps;
+        options.num_requests = 24;  // pinned across smoke/full for CI
+        options.seed = seed;
+        options.kv_pool_pages = 256;
+        options.kv_page_size = 16;
+        options.faults.seed = seed;
+        options.faults.pool_shrink_at_ms = 2000.0;
+        options.faults.pool_shrink_to = 0.25;
+        ServingSimulator sim(costs, mix, options);
+        const ServingResult result = sim.Run();
+        const ServingReport report = result.Report();
+        std::printf("  %s\n", report.Summary().c_str());
+        std::printf(
+            "METRIC {\"bench\": \"serving\", \"mode\": \"fault_shrink\", "
+            "\"kv_pool_pages\": %lld, \"kv_pool_pages_live\": %lld, "
+            "\"kv_pages_peak\": %lld, \"kv_pages_peak_post_shrink\": %lld, "
+            "\"evictions\": %d, \"shed\": %d, \"throughput_rps\": %.3f}\n",
+            static_cast<long long>(result.kv_pool_pages),
+            static_cast<long long>(result.kv_pool_pages_live),
+            static_cast<long long>(result.kv_pages_peak),
+            static_cast<long long>(result.kv_pages_peak_post_shrink),
+            report.evictions, report.shed, report.throughput_rps);
+    }
 
     if (trace_path != nullptr) RunTracedScenario(trace_path, costs, mix);
 }
@@ -335,18 +435,27 @@ int
 main(int argc, char** argv)
 {
     const char* trace_path = std::getenv("LLMNPU_TRACE_FILE");
+    // Arrival + fault-injection seed: --seed beats LLMNPU_SEED (exported
+    // by `run_all --seed`) beats the committed-baseline default.
+    unsigned long long seed = 2026;
+    if (const char* env_seed = std::getenv("LLMNPU_SEED")) {
+        seed = std::strtoull(env_seed, nullptr, 10);
+    }
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--trace") == 0) {
             trace_path = "serving_trace.json";
             if (i + 1 < argc && argv[i + 1][0] != '-') {
                 trace_path = argv[++i];
             }
+        } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+            seed = std::strtoull(argv[++i], nullptr, 10);
         } else {
-            std::fprintf(stderr,
-                         "usage: bench_serving [--trace [PATH]]\n");
+            std::fprintf(
+                stderr,
+                "usage: bench_serving [--trace [PATH]] [--seed N]\n");
             return 2;
         }
     }
-    llmnpu::Run(trace_path);
+    llmnpu::Run(trace_path, seed);
     return 0;
 }

@@ -4,7 +4,7 @@
  * machine-readable summary so each commit leaves a perf-trajectory sample.
  *
  * Usage: run_all [--bench-dir DIR] [--out FILE] [--filter PREFIX] [--quiet]
- *                [--quick] [--trace FILE]
+ *                [--quick] [--trace FILE] [--seed N]
  *   --bench-dir  directory scanned for bench_* binaries
  *                (default: the directory run_all itself lives in)
  *   --out        output JSON path (default: BENCH_results.json in the CWD)
@@ -20,6 +20,11 @@
  *                trace themselves (bench_serving) run one extra traced
  *                scenario and write Chrome trace-event JSON there
  *                (Perfetto-loadable; see examples/trace_dump).
+ *   --seed       exports LLMNPU_SEED=N: seeded benches (bench_serving's
+ *                arrival generation and fault injection) derive every
+ *                stochastic choice from it, so a degraded-mode run is
+ *                reproducible from the command line. Omitted = each
+ *                bench's committed-baseline default.
  *
  * The JSON schema ("llmnpu-bench-v2") is one record per bench with its exit
  * status and wall time; downstream tooling diffs these files across commits
@@ -104,6 +109,7 @@ main(int argc, char** argv)
     bool quiet = false;
     bool quick = false;
     std::string trace_file;
+    std::string seed;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--bench-dir") == 0 && i + 1 < argc) {
             bench_dir = argv[++i];
@@ -117,11 +123,13 @@ main(int argc, char** argv)
             quick = true;
         } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
             trace_file = argv[++i];
+        } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+            seed = argv[++i];
         } else {
             std::fprintf(stderr,
                          "usage: run_all [--bench-dir DIR] [--out FILE] "
                          "[--filter PREFIX] [--quiet] [--quick] "
-                         "[--trace FILE]\n");
+                         "[--trace FILE] [--seed N]\n");
             return 2;
         }
     }
@@ -133,6 +141,9 @@ main(int argc, char** argv)
     }
     if (!trace_file.empty()) {
         setenv("LLMNPU_TRACE_FILE", trace_file.c_str(), 1);
+    }
+    if (!seed.empty()) {
+        setenv("LLMNPU_SEED", seed.c_str(), 1);
     }
 
     std::vector<std::string> benches = DiscoverBenches(bench_dir);

@@ -193,6 +193,121 @@ function(collect_paged_kv_metrics json_path out_var)
   set(${out_var} "${pairs}" PARENT_SCOPE)
 endfunction()
 
+# Collects "faults|<rate>|<failover>=goodput_rps" pairs for the
+# bench_serving degraded-mode sweep of one results file. Only the
+# fault-rate-0 rows are collected for band checking: they are bit-identical
+# to a fault-free run by the zero-rate contract, so their goodput must sit
+# within DECODE_BAND of the committed baseline — the fault plane being
+# merely *compiled in* must not move a single number. Faulted rows vary
+# legitimately with defense tuning and are covered by the hard invariants
+# in check_fault_shrink below and the faults test suite.
+function(collect_fault_metrics json_path out_var)
+  file(READ ${json_path} content)
+  string(JSON num_benches LENGTH ${content} "benches")
+  set(pairs "")
+  math(EXPR last_bench "${num_benches} - 1")
+  foreach(b RANGE ${last_bench})
+    string(JSON bench_name GET ${content} "benches" ${b} "name")
+    if(NOT bench_name STREQUAL "bench_serving")
+      continue()
+    endif()
+    string(JSON num_metrics ERROR_VARIABLE err
+           LENGTH ${content} "benches" ${b} "metrics")
+    if(err OR num_metrics EQUAL 0)
+      continue()
+    endif()
+    math(EXPR last_metric "${num_metrics} - 1")
+    foreach(i RANGE ${last_metric})
+      set(prefix "benches" ${b} "metrics" ${i})
+      string(JSON mode ERROR_VARIABLE err GET ${content} ${prefix} "mode")
+      if(err OR NOT mode STREQUAL "faults")
+        continue()
+      endif()
+      string(JSON rate GET ${content} ${prefix} "fault_rate")
+      string(JSON failover GET ${content} ${prefix} "failover")
+      string(JSON goodput GET ${content} ${prefix} "goodput_rps")
+      string(JSON faults GET ${content} ${prefix} "faults")
+      if(NOT rate MATCHES "^0(\\.0+)?$")
+        continue()
+      endif()
+      if(NOT faults EQUAL 0)
+        message(FATAL_ERROR
+          "check_bench_metrics: ${json_path}: faults row at fault_rate=0 "
+          "reports faults=${faults} — zero-rate injection drew a fault")
+      endif()
+      if(NOT goodput GREATER 0)
+        message(FATAL_ERROR
+          "check_bench_metrics: ${json_path}: faults row at fault_rate=0 "
+          "failover=${failover} has non-positive goodput_rps=${goodput}")
+      endif()
+      list(APPEND pairs "faults|0|${failover}=${goodput}")
+    endforeach()
+  endforeach()
+  if(pairs STREQUAL "")
+    message(FATAL_ERROR
+      "check_bench_metrics: ${json_path} has no fault-rate-0 degraded-mode "
+      "rows — the bench_serving fault-sweep METRIC output regressed")
+  endif()
+  set(${out_var} "${pairs}" PARENT_SCOPE)
+endfunction()
+
+# Checks the bench_serving mid-run pool-shrink row's hard invariants: the
+# post-shrink peak occupancy never exceeds the live (shrunk) budget, and the
+# live budget is a real shrink of the configured pool. No baseline needed —
+# these hold for any parameters or the degraded-mode defense is broken.
+function(check_fault_shrink json_path)
+  file(READ ${json_path} content)
+  string(JSON num_benches LENGTH ${content} "benches")
+  set(checked 0)
+  math(EXPR last_bench "${num_benches} - 1")
+  foreach(b RANGE ${last_bench})
+    string(JSON bench_name GET ${content} "benches" ${b} "name")
+    if(NOT bench_name STREQUAL "bench_serving")
+      continue()
+    endif()
+    string(JSON num_metrics ERROR_VARIABLE err
+           LENGTH ${content} "benches" ${b} "metrics")
+    if(err OR num_metrics EQUAL 0)
+      continue()
+    endif()
+    math(EXPR last_metric "${num_metrics} - 1")
+    foreach(i RANGE ${last_metric})
+      set(prefix "benches" ${b} "metrics" ${i})
+      string(JSON mode ERROR_VARIABLE err GET ${content} ${prefix} "mode")
+      if(err OR NOT mode STREQUAL "fault_shrink")
+        continue()
+      endif()
+      string(JSON pool GET ${content} ${prefix} "kv_pool_pages")
+      string(JSON live GET ${content} ${prefix} "kv_pool_pages_live")
+      string(JSON peak GET ${content} ${prefix} "kv_pages_peak")
+      string(JSON post GET ${content} ${prefix} "kv_pages_peak_post_shrink")
+      if(NOT live GREATER 0 OR NOT live LESS ${pool})
+        message(FATAL_ERROR
+          "check_bench_metrics: ${json_path}: fault_shrink live budget "
+          "${live} is not a shrink of pool=${pool}")
+      endif()
+      if(post GREATER live)
+        message(FATAL_ERROR
+          "check_bench_metrics: ${json_path}: fault_shrink post-shrink "
+          "peak ${post} exceeds the live budget ${live} — the shrink "
+          "defense leaked pages")
+      endif()
+      if(peak GREATER pool)
+        message(FATAL_ERROR
+          "check_bench_metrics: ${json_path}: fault_shrink peak ${peak} "
+          "exceeds the configured pool ${pool}")
+      endif()
+      math(EXPR checked "${checked} + 1")
+    endforeach()
+  endforeach()
+  if(checked EQUAL 0)
+    message(FATAL_ERROR
+      "check_bench_metrics: ${json_path} has no fault_shrink row — the "
+      "bench_serving pool-shrink METRIC output regressed")
+  endif()
+  set(shrink_checked ${checked} PARENT_SCOPE)
+endfunction()
+
 # Checks the bench_obs tracer-overhead rows of one results file against an
 # *absolute* band: the `disabled` and `enabled_idle` overhead ratios must
 # stay under OBS_BAND (default 1.5x — an unobserved span macro costs one
@@ -313,11 +428,21 @@ collect_paged_kv_metrics(${BASELINE} base_paged)
 band_check_pairs("${fresh_paged}" "${base_paged}" "kv-pages-mean"
                  ${DECODE_BAND})
 
+set(paged_matched ${band_matched})
+
+collect_fault_metrics(${RESULTS} fresh_faults)
+collect_fault_metrics(${BASELINE} base_faults)
+band_check_pairs("${fresh_faults}" "${base_faults}" "fault-free-goodput"
+                 ${DECODE_BAND})
+
+check_fault_shrink(${RESULTS})
+
 check_obs_metrics(${RESULTS} ${OBS_BAND})
 
 message(STATUS
   "check_bench_metrics: ${kernel_matched} kernel rows within ${BAND}x, "
-  "${decode_matched} decode-placement rows and ${band_matched} paged-KV "
-  "occupancy rows within ${DECODE_BAND}x of the committed baseline; "
-  "${obs_checked} tracer-overhead rows within the absolute ${OBS_BAND}x "
-  "band")
+  "${decode_matched} decode-placement rows, ${paged_matched} paged-KV "
+  "occupancy rows, and ${band_matched} zero-fault goodput rows within "
+  "${DECODE_BAND}x of the committed baseline; ${shrink_checked} "
+  "pool-shrink row(s) inside the live budget; ${obs_checked} "
+  "tracer-overhead rows within the absolute ${OBS_BAND}x band")

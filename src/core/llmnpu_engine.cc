@@ -350,6 +350,18 @@ LlmNpuEngine::ServingCosts(const ModelConfig& config, const SocSpec& soc,
     profile.npu_decode_interference = busy_fraction(Unit::kNpu);
     profile.decode_placement = options_.decode_placement;
 
+    // The float-processor fallback price is computed for every placement:
+    // when decode nominally runs on the NPU, the serving layer's circuit
+    // breaker can fail a request over to this packed-fp32 CPU path
+    // mid-stream, and it needs the fallback price without re-decomposing.
+    const ProcessorModel& dproc = soc.Processor(float_unit);
+    ExecPolicy decode_policy;
+    decode_policy.linear_format = ExecFormat::kInt8PerTensor;
+    profile.cpu_decode_token_ms =
+        DecodeMs(config, dproc, request.prompt_len, request.output_len,
+                 decode_policy) /
+        std::max(1, request.output_len);
+
     if (options_.decode_placement == DecodePlacement::kNpuQuant) {
         double decode_ms = 0.0;
         for (int t = 0; t < request.output_len; ++t) {
@@ -367,13 +379,7 @@ LlmNpuEngine::ServingCosts(const ModelConfig& config, const SocSpec& soc,
             NpuDecodeStep(config, soc, request.prompt_len, 2).TotalMs();
         profile.decode_batch_marginal = std::max(0.0, b2 / b1 - 1.0);
     } else {
-        const ProcessorModel& dproc = soc.Processor(float_unit);
-        ExecPolicy decode_policy;
-        decode_policy.linear_format = ExecFormat::kInt8PerTensor;
-        profile.decode_token_ms =
-            DecodeMs(config, dproc, request.prompt_len, request.output_len,
-                     decode_policy) /
-            std::max(1, request.output_len);
+        profile.decode_token_ms = profile.cpu_decode_token_ms;
     }
     return profile;
 }

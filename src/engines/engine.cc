@@ -21,6 +21,7 @@ InferenceEngine::ServingCosts(const ModelConfig& config, const SocSpec& soc,
     profile.decode_placement = DecodePlacement::kCpuFloat;
     profile.decode_token_ms =
         result.decode_ms / std::max(1, request.output_len);
+    profile.cpu_decode_token_ms = profile.decode_token_ms;
     profile.memory_bytes = result.memory_bytes;
     return profile;
 }

@@ -111,6 +111,14 @@ struct ServingCostProfile {
     /** Per-token decode service time at the request's context length,
      *  priced at `decode_placement`. */
     double decode_token_ms = 0.0;
+    /** Per-token decode service time on the CPU/GPU float-processor
+     *  fallback path (packed int8-per-tensor linears), priced even when
+     *  `decode_placement` is the NPU: the fault plane's circuit breaker
+     *  fails NPU-resident decode over to this path mid-stream, so the
+     *  serving layer needs both prices up front. 0 means "same as
+     *  decode_token_ms" (engines whose primary placement already is the
+     *  float processor). */
+    double cpu_decode_token_ms = 0.0;
     /** Marginal cost of each extra batched decode stream relative to the
      *  first (step time = decode_token_ms * (1 + (B-1) * marginal)).
      *  Negative means "engine has no opinion" — the serving layer falls

@@ -89,6 +89,7 @@ enum class SimLane : int {
     kNpu = 0,     ///< prefill chunks (exclusive NPU intervals)
     kDecode = 1,  ///< continuously batched decode steps
     kEvents = 2,  ///< arrivals, rejections, evictions, counters
+    kFaults = 3,  ///< injected faults, retries, failovers, brownout sheds
 };
 
 /** One simulator-lane event, in virtual milliseconds. Cold path: may own

@@ -163,6 +163,7 @@ SimLaneName(SimLane lane)
     case SimLane::kNpu: return "npu (prefill chunks)";
     case SimLane::kDecode: return "decode steps";
     case SimLane::kEvents: return "serving events";
+    case SimLane::kFaults: return "faults / degradation";
     }
     return "?";
 }
@@ -184,8 +185,8 @@ Tracer::ChromeTraceJson() const
             lines.push_back(MetadataEvent(kWallPid, buffer->tid,
                                           "thread_name", buffer->name));
         }
-        for (SimLane lane :
-             {SimLane::kNpu, SimLane::kDecode, SimLane::kEvents}) {
+        for (SimLane lane : {SimLane::kNpu, SimLane::kDecode,
+                             SimLane::kEvents, SimLane::kFaults}) {
             lines.push_back(MetadataEvent(kSimPid,
                                           static_cast<int>(lane),
                                           "thread_name",

@@ -41,6 +41,10 @@ BuildReport(const std::vector<RequestRecord>& records, double makespan_ms,
         }
         ++report.admitted;
         report.evictions += record.evictions;
+        report.faults += record.faults;
+        report.retries += record.retries;
+        if (record.shed) ++report.shed;
+        if (record.failed_over) ++report.failovers;
         tokens_out += record.tokens_out;
         if (!record.Completed()) continue;
         ++report.completed;
@@ -92,6 +96,10 @@ ServingReport::Summary() const
                           static_cast<long long>(kv_pages_peak),
                           static_cast<long long>(kv_pool_pages), rejected,
                           evictions);
+    }
+    if (faults > 0 || shed > 0 || failovers > 0) {
+        line += StrFormat("  faults %d (retries %d, shed %d, failover %d)",
+                          faults, retries, shed, failovers);
     }
     return line;
 }

@@ -54,6 +54,25 @@ struct ServingReport {
     /** KV-page eviction preemptions (requests bounced back to prefill). */
     int evictions = 0;
 
+    /** Requests shed by the fault plane after admission (retry budget
+     *  exhausted, brownout, post-shrink infeasibility, queue expiry).
+     *  Shed requests count as SLO misses, never toward goodput. */
+    int shed = 0;
+    /** Injected faults across the run (every faulted attempt). */
+    int faults = 0;
+    /** Retry dispatches after faults. */
+    int retries = 0;
+    /** Requests whose decode failed over NPU->CPU (circuit breaker). */
+    int failovers = 0;
+    /** Fraction of the makespan the NPU spent thermally throttled. */
+    double npu_throttled_frac = 0.0;
+    /** Live pool budget at the end of the run (== kv_pool_pages unless a
+     *  mid-run shrink fired). */
+    int64_t kv_pool_pages_live = 0;
+    /** Peak pages in use after the pool shrink fired (0 when no shrink);
+     *  the degraded-mode invariant is peak_post <= live budget. */
+    int64_t kv_pages_peak_post_shrink = 0;
+
     /** KV page pool budget in pages; 0 = unbounded. */
     int64_t kv_pool_pages = 0;
     /** Peak pages in use over the run. */

@@ -20,6 +20,11 @@ struct SeqState {
     std::vector<int> outputs;
     int chunks_done = 0;
     int tokens_decoded = 0;
+    /** Placement each decoded token actually executed at (placement-aware
+     *  replays only), parallel to the decoded stream. Recorded from the
+     *  batched pass so the solo reference re-runs a mid-stream failover
+     *  with the exact same per-token placements. */
+    std::vector<DecodePlacement> decode_placements;
     /** Hidden/logit rows in execution order, for the bitwise check. */
     std::vector<float> hidden_rows;
     std::vector<float> logit_rows;
@@ -106,6 +111,7 @@ ReplayTraceImpl(const std::vector<ReplayStep>& steps,
     for (const ReplayStep& step : steps) {
         std::vector<BatchSeq> batch;
         std::vector<int> member_ids;
+        std::vector<DecodePlacement> step_placements;
         if (step.is_prefill) {
             const int id = step.request_ids.front();
             SeqState& state = seqs.at(id);
@@ -121,6 +127,7 @@ ReplayTraceImpl(const std::vector<ReplayStep>& steps,
                 state.slot = -1;
                 state.chunks_done = 0;
                 state.tokens_decoded = 0;
+                state.decode_placements.clear();
                 state.hidden_rows.clear();
                 state.logit_rows.clear();
             }
@@ -136,9 +143,13 @@ ReplayTraceImpl(const std::vector<ReplayStep>& steps,
                              ChunkTokens(state.prompt, step.chunk_index,
                                          step.num_chunks)});
             member_ids.push_back(id);
+            if (placement != nullptr) {
+                step_placements.push_back(placement->prefill);
+            }
             ++state.chunks_done;
         } else {
-            for (int id : step.request_ids) {
+            for (size_t mi = 0; mi < step.request_ids.size(); ++mi) {
+                const int id = step.request_ids[mi];
                 SeqState& state = seqs.at(id);
                 LLMNPU_CHECK_EQ(state.chunks_done,
                                 num_chunks.at(id));  // prefilled
@@ -152,6 +163,18 @@ ReplayTraceImpl(const std::vector<ReplayStep>& steps,
                      {state.outputs[static_cast<size_t>(
                          state.tokens_decoded)]}});
                 member_ids.push_back(id);
+                if (placement != nullptr) {
+                    // Trace-recorded placements win over the static
+                    // per-request placement: a fault-plane run's circuit
+                    // breaker can switch a request NPU->CPU mid-stream,
+                    // and the executed schedule is what must replay.
+                    const DecodePlacement member_placement =
+                        mi < step.placements.size()
+                            ? step.placements[mi]
+                            : placement->DecodeFor(id);
+                    step_placements.push_back(member_placement);
+                    state.decode_placements.push_back(member_placement);
+                }
                 ++state.tokens_decoded;
             }
             if (batch.empty()) continue;  // all members past the cap
@@ -161,13 +184,6 @@ ReplayTraceImpl(const std::vector<ReplayStep>& steps,
         }
 
         if (placement != nullptr) {
-            std::vector<DecodePlacement> step_placements;
-            step_placements.reserve(member_ids.size());
-            for (int id : member_ids) {
-                step_placements.push_back(step.is_prefill
-                                              ? placement->prefill
-                                              : placement->DecodeFor(id));
-            }
             backend->SetStepPlacements(std::move(step_placements));
         }
         Tensor hidden, logits;
@@ -219,7 +235,8 @@ ReplayTraceImpl(const std::vector<ReplayStep>& steps,
         }
         for (int t = 0; t < state.tokens_decoded; ++t) {
             if (placement != nullptr) {
-                backend->SetUniformPlacement(placement->DecodeFor(id));
+                backend->SetUniformPlacement(
+                    state.decode_placements[static_cast<size_t>(t)]);
             }
             Tensor h = model.Forward(
                 {state.outputs[static_cast<size_t>(t)]}, solo, linears);

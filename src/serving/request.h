@@ -46,6 +46,23 @@ struct RequestRecord {
      *  (its pages released, its prefill restarted from chunk 0). */
     int evictions = 0;
 
+    /** Shed by the fault plane after admission (retry budget exhausted,
+     *  brownout, infeasible post-shrink demand, expired in queue). A shed
+     *  request never completes and never counts toward goodput; its KV
+     *  pages were released when it was shed. */
+    bool shed = false;
+    /** Virtual time the request was shed (-1 when not shed). */
+    double shed_ms = -1.0;
+    /** Injected faults that hit this request (chunk fail/stall + decode
+     *  dispatch faults, every attempt counted). */
+    int faults = 0;
+    /** Retry dispatches after faults (attempts beyond the first). */
+    int retries = 0;
+    /** Circuit breaker fired: decode placement failed over NPU->CPU. */
+    bool failed_over = false;
+    /** Virtual time of the failover (-1 when it never fired). */
+    double failover_ms = -1.0;
+
     bool Completed() const { return finish_ms >= 0.0; }
     double QueueingMs() const { return first_dispatch_ms - request.arrival_ms; }
     double TtftMs() const { return first_token_ms - request.arrival_ms; }

@@ -6,6 +6,7 @@
 
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/sim/thermal.h"
 #include "src/util/check.h"
 #include "src/util/format.h"
 
@@ -20,6 +21,10 @@ struct PendingPrefill {
     int id = 0;
     int next_chunk = 0;
     const ServingCostProfile* profile = nullptr;
+    /** Fault-plane retry attempt of the *next* chunk (0 = first try). */
+    int attempt = 0;
+    /** Backoff gate: the chunk may not dispatch before this time. */
+    double ready_ms = 0.0;
 
     double RemainingMs() const
     {
@@ -34,6 +39,29 @@ struct PendingPrefill {
 
 }  // namespace
 
+void
+ServingOptions::Validate() const
+{
+    LLMNPU_FATAL_IF(num_requests <= 0, "serving num_requests must be > 0");
+    LLMNPU_FATAL_IF(max_decode_batch <= 0,
+                    "serving max_decode_batch must be > 0");
+    LLMNPU_FATAL_IF(decode_batch_marginal < 0.0,
+                    "serving decode_batch_marginal must be >= 0");
+    LLMNPU_FATAL_IF(kv_pool_pages < 0,
+                    "serving kv_pool_pages must be >= 0 (0 = unbounded)");
+    LLMNPU_FATAL_IF(kv_page_size <= 0, "serving kv_page_size must be > 0");
+    LLMNPU_FATAL_IF(!closed_loop && rate_rps <= 0.0,
+                    "serving rate_rps must be > 0 in open-loop mode");
+    LLMNPU_FATAL_IF(closed_loop && num_clients <= 0,
+                    "serving num_clients must be > 0 in closed-loop mode");
+    LLMNPU_FATAL_IF(closed_loop && think_time_ms < 0.0,
+                    "serving think_time_ms must be >= 0");
+    LLMNPU_FATAL_IF(shed_expired_queued && slo_factor <= 0.0,
+                    "serving shed_expired_queued needs slo_factor > 0 "
+                    "(no deadlines to expire otherwise)");
+    faults.Validate();
+}
+
 ServingReport
 ServingResult::Report() const
 {
@@ -42,6 +70,9 @@ ServingResult::Report() const
     report.kv_pool_pages = kv_pool_pages;
     report.kv_pages_peak = kv_pages_peak;
     report.kv_pages_mean = kv_pages_mean;
+    report.npu_throttled_frac = npu_throttled_frac;
+    report.kv_pool_pages_live = kv_pool_pages_live;
+    report.kv_pages_peak_post_shrink = kv_pages_peak_post_shrink;
     return report;
 }
 
@@ -51,13 +82,7 @@ ServingSimulator::ServingSimulator(ServingCostModel& costs,
     : costs_(costs), mix_(std::move(mix)), options_(options)
 {
     LLMNPU_CHECK(!mix_.empty());
-    LLMNPU_CHECK_GT(options_.num_requests, 0);
-    LLMNPU_CHECK_GT(options_.max_decode_batch, 0);
-    LLMNPU_CHECK_GE(options_.decode_batch_marginal, 0.0);
-    LLMNPU_CHECK_GE(options_.kv_pool_pages, 0);
-    LLMNPU_CHECK_GT(options_.kv_page_size, 0);
-    if (!options_.closed_loop) LLMNPU_CHECK_GT(options_.rate_rps, 0.0);
-    if (options_.closed_loop) LLMNPU_CHECK_GT(options_.num_clients, 0);
+    options_.Validate();
 }
 
 ServingResult
@@ -65,6 +90,17 @@ ServingSimulator::Run()
 {
     ServingResult result;
     result.records.reserve(static_cast<size_t>(options_.num_requests));
+
+    // ---- Fault plane. All injection is counter-based (a pure function of
+    // the fault seed and the draw coordinates), so a rate-zero plane draws
+    // nothing and every code path below degenerates bitwise to the
+    // fault-free simulator.
+    const FaultOptions& fopts = options_.faults;
+    const FaultPlane fault_plane(fopts);
+    const bool inject_on = fopts.Enabled();
+    ThermalModel thermal(fopts.thermal);
+    double throttled_ms = 0.0;
+    double peak_temp_c = thermal.temperature_c();
 
     // ---- Registry bookkeeping. The KV-occupancy peak and the eviction
     // count live in the process-wide registry; the ServingResult fields
@@ -76,6 +112,10 @@ ServingSimulator::Run()
     obs::Counter& evict_counter = reg.GetCounter("sim.evictions");
     obs::Counter& preempt_counter = reg.GetCounter("sim.preemptions");
     obs::Counter& reject_counter = reg.GetCounter("sim.rejections");
+    obs::Counter& fault_counter = reg.GetCounter("sim.faults");
+    obs::Counter& retry_counter = reg.GetCounter("sim.retries");
+    obs::Counter& shed_counter = reg.GetCounter("sim.shed");
+    obs::Counter& failover_counter = reg.GetCounter("sim.failovers");
     const int64_t evict_base = evict_counter.value();
     kv_gauge.Set(0.0);
     kv_gauge.ResetPeak();
@@ -83,6 +123,21 @@ ServingSimulator::Run()
         if (obs::TraceEnabled()) {
             obs::Tracer::Global().RecordSim(std::move(event));
         }
+    };
+    // Fault-plane events render on their own Perfetto lane so degraded-mode
+    // runs read as "what went wrong / what the defense did" at a glance.
+    auto fault_event = [&](const char* name, int req, double t0, double t1,
+                           std::string args) {
+        obs::SimEvent event;
+        event.name = name;
+        event.lane = obs::SimLane::kFaults;
+        event.phase = t1 > t0 ? obs::TracePhase::kSpan
+                              : obs::TracePhase::kInstant;
+        event.t0_ms = t0;
+        event.t1_ms = t1;
+        event.req = req;
+        event.args_json = std::move(args);
+        sim_emit(std::move(event));
     };
 
     // ---- Arrival stream. Open loop: the whole Poisson trace up front.
@@ -112,14 +167,24 @@ ServingSimulator::Run()
     double npu_interference = 0.0;  // of the in-flight chunk's profile
     PendingPrefill npu_job;
     double npu_start = 0.0;
+    // Fate of the in-flight chunk attempt, drawn at dispatch. A faulted
+    // attempt's occupancy is discarded work: it goes to npu_faulted_ms,
+    // never npu_busy_ms, and emits neither a trace task nor a replay step.
+    FaultPlane::ChunkFate npu_fate = FaultPlane::ChunkFate::kOk;
 
     std::vector<int> decode_pool;  // prefilled requests, admission order
     std::vector<int> step_members;
+    std::vector<DecodePlacement> step_placements;  // parallel, fault runs
     bool step_active = false;
     double step_remaining_work = 0.0;  // unscaled service ms still owed
     double step_last_update = 0.0;
     double step_start = 0.0;
     int step_counter = 0;
+
+    // Per-request fault-defense state, indexed by request id.
+    std::vector<int> decode_attempt;  // retries of the *current* token
+    std::vector<int> consec_faults;   // consecutive NPU faults (breaker)
+    std::vector<double> decode_ready;  // decode backoff gate
 
     auto decode_rate = [&]() {
         return npu_busy ? std::max(0.05, 1.0 - npu_interference) : 1.0;
@@ -128,8 +193,15 @@ ServingSimulator::Run()
     // ---- KV page accounting. Usage (held pages per request, peak, time
     // integral) is tracked for every run; the budget gates admission,
     // dispatch and decode growth only when bounded (kv_pool_pages > 0).
+    // `live_budget` is the budget currently in force: it starts at the
+    // configured pool and drops when the fault plane's mid-run shrink
+    // fires (memory pressure from the rest of the device).
     const bool kv_bounded = options_.kv_pool_pages > 0;
     const int64_t kv_page = options_.kv_page_size;
+    int64_t live_budget = options_.kv_pool_pages;
+    bool shrink_pending = kv_bounded && fopts.pool_shrink_at_ms >= 0.0;
+    bool shrink_fired = false;
+    int64_t post_shrink_peak = 0;
     auto pages_for = [&](int64_t positions) {
         return (positions + kv_page - 1) / kv_page;
     };
@@ -138,9 +210,13 @@ ServingSimulator::Run()
     int64_t kv_used = 0;
     double kv_integral = 0.0;  // pages x ms, for the time-mean occupancy
     result.kv_pool_pages = options_.kv_pool_pages;
+    result.kv_pool_pages_live = live_budget;
 
     auto kv_note_usage = [&]() {
         kv_gauge.Set(static_cast<double>(kv_used));
+        if (shrink_fired) {
+            post_shrink_peak = std::max(post_shrink_peak, kv_used);
+        }
         obs::SimEvent event;
         event.name = "sim.kv_used_pages";
         event.phase = obs::TracePhase::kCounter;
@@ -160,6 +236,25 @@ ServingSimulator::Run()
         kv_used -= held;
         held = 0;
         kv_note_usage();
+    };
+
+    // Terminal degraded-mode outcome for an admitted request: its pages go
+    // back to the pool, it counts as an SLO miss (never goodput), and a
+    // closed-loop client behind it comes back after think time. The caller
+    // removes the request from whatever container held it.
+    auto shed_request = [&](int id, const char* reason) {
+        kv_drop_all(id);
+        RequestRecord& record = result.records[static_cast<size_t>(id)];
+        record.shed = true;
+        record.shed_ms = now;
+        ++result.shed;
+        shed_counter.Add(1);
+        fault_event("fault.shed", id, now, now,
+                    StrFormat("\"reason\": \"%s\"", reason));
+        if (options_.closed_loop && issued < options_.num_requests) {
+            client_wakeups.push_back(now + options_.think_time_ms);
+            ++issued;
+        }
     };
 
     auto admit = [&](const ArrivalEvent& event) {
@@ -182,10 +277,13 @@ ServingSimulator::Run()
         const int64_t demand =
             pages_for(static_cast<int64_t>(record.request.prompt_len) +
                       record.request.output_len);
-        if (kv_bounded && demand > options_.kv_pool_pages) {
+        if (kv_bounded && demand > live_budget) {
             record.rejected = true;
             result.records.push_back(record);
             kv_held.push_back(0);
+            decode_attempt.push_back(0);
+            consec_faults.push_back(0);
+            decode_ready.push_back(0.0);
             ++result.rejected;
             reject_counter.Add(1);
             obs::SimEvent ev;
@@ -204,6 +302,9 @@ ServingSimulator::Run()
         }
         result.records.push_back(record);
         kv_held.push_back(0);
+        decode_attempt.push_back(0);
+        consec_faults.push_back(0);
+        decode_ready.push_back(0.0);
         PendingPrefill pending;
         pending.id = record.request.id;
         pending.profile = &costs_.Costs(event.request);
@@ -215,6 +316,26 @@ ServingSimulator::Run()
         sim_emit(std::move(ev));
     };
 
+    // Circuit breaker: after K consecutive NPU faults on one request
+    // (chunk faults during its prefill, decode-dispatch faults during its
+    // stream), its decode placement fails over to the packed-fp32 CPU
+    // fallback — permanently, mid-stream, at the next step boundary.
+    auto maybe_failover = [&](int id) {
+        if (fopts.circuit_breaker_k <= 0) return;
+        if (consec_faults[static_cast<size_t>(id)] <
+            fopts.circuit_breaker_k) {
+            return;
+        }
+        RequestRecord& record = result.records[static_cast<size_t>(id)];
+        if (record.failed_over) return;
+        record.failed_over = true;
+        record.failover_ms = now;
+        ++result.failovers;
+        failover_counter.Add(1);
+        fault_event("fault.failover", id, now, now,
+                    "\"to\": \"cpu_float\"");
+    };
+
     auto start_chunk_if_idle = [&]() {
         if (npu_busy || prefill_queue.empty()) return;
         std::vector<QueueEntry> entries;
@@ -224,11 +345,16 @@ ServingSimulator::Run()
             const PendingPrefill& pending = prefill_queue[qi];
             const RequestRecord& record =
                 result.records[static_cast<size_t>(pending.id)];
+            // Backoff gate: a chunk that faulted waits out its capped
+            // exponential delay before redispatching.
+            if (pending.ready_ms > now) continue;
             // A first chunk reserves the whole prompt's pages up front;
             // skip candidates the pool cannot hold right now (they stay
             // queued until retirements or evictions free pages). Requests
-            // already mid-prefill hold their reservation and stay eligible.
+            // already holding their reservation — mid-prefill, or a
+            // faulted chunk 0 awaiting retry — stay eligible.
             if (kv_bounded && pending.next_chunk == 0 &&
+                kv_held[static_cast<size_t>(pending.id)] == 0 &&
                 pages_for(record.request.prompt_len) > kv_free) {
                 continue;
             }
@@ -258,18 +384,38 @@ ServingSimulator::Run()
             if (record.first_dispatch_ms < 0.0) {
                 record.first_dispatch_ms = now;
             }
-            kv_take(npu_job.id, pages_for(record.request.prompt_len));
+            if (kv_held[static_cast<size_t>(npu_job.id)] == 0) {
+                kv_take(npu_job.id, pages_for(record.request.prompt_len));
+            }
         }
-        const double duration =
+        double duration =
             npu_job.profile->chunk_ms[static_cast<size_t>(
                 npu_job.next_chunk)];
+        // Thermal throttling inflates the whole chunk by the service scale
+        // at dispatch (gated so thermal-off runs never touch the value).
+        if (fopts.thermal.enabled) duration *= thermal.ServiceScale();
+        // Fate of this attempt. A kFail attempt dies partway through; a
+        // kStall attempt hangs until the watchdog declares it dead at
+        // timeout_factor x the nominal service time.
+        npu_fate = fault_plane.Chunk(npu_job.id, npu_job.next_chunk,
+                                     npu_job.attempt);
+        if (npu_fate == FaultPlane::ChunkFate::kFail) {
+            duration *= fault_plane.ChunkFailFraction(
+                npu_job.id, npu_job.next_chunk, npu_job.attempt);
+        } else if (npu_fate == FaultPlane::ChunkFate::kStall) {
+            duration *= fopts.timeout_factor;
+        }
         npu_busy = true;
         npu_start = now;
         npu_end = now + duration;
         // The factor matching where this run's decode lives: the float
         // processor the chunk's float stages hold, or the NPU itself.
         npu_interference = npu_job.profile->DecodeInterference();
-        result.npu_busy_ms += duration;
+        if (npu_fate == FaultPlane::ChunkFate::kOk) {
+            result.npu_busy_ms += duration;
+        } else {
+            result.npu_faulted_ms += duration;
+        }
         if (step_active) {
             // The chunk's float stages steal decode bandwidth from the
             // step already in flight: that's a preemption.
@@ -288,36 +434,298 @@ ServingSimulator::Run()
 
     auto start_step_if_idle = [&]() {
         if (step_active || decode_pool.empty()) return;
-        const size_t batch =
-            std::min(decode_pool.size(),
-                     static_cast<size_t>(options_.max_decode_batch));
-        step_members.assign(decode_pool.begin(),
-                            decode_pool.begin() + static_cast<long>(batch));
+        step_members.clear();
+        step_placements.clear();
+        std::vector<int> to_shed;
         double token_ms = 0.0;
         double engine_marginal = -1.0;
-        for (int id : step_members) {
-            const RequestRecord& record =
+        for (size_t pi = 0;
+             pi < decode_pool.size() &&
+             static_cast<int>(step_members.size()) <
+                 options_.max_decode_batch;
+             ++pi) {
+            const int id = decode_pool[pi];
+            RequestRecord& record =
                 result.records[static_cast<size_t>(id)];
             const ServingCostProfile& profile =
                 costs_.Costs(record.request.AsInference());
-            token_ms = std::max(token_ms, profile.decode_token_ms);
+            DecodePlacement place = record.failed_over
+                                        ? DecodePlacement::kCpuFloat
+                                        : profile.decode_placement;
+            if (inject_on) {
+                // Backoff gate after a faulted dispatch.
+                if (decode_ready[static_cast<size_t>(id)] > now) continue;
+                if (place == DecodePlacement::kNpuQuant &&
+                    fault_plane.DecodeFaults(
+                        id, record.tokens_out,
+                        decode_attempt[static_cast<size_t>(id)])) {
+                    // The NPU dispatch for this member faults: it sits the
+                    // step out (replay membership stays exactly what was
+                    // executed) and either fails over, retries after
+                    // backoff, or — retry budget gone — is shed.
+                    ++record.faults;
+                    ++result.faults;
+                    fault_counter.Add(1);
+                    ++consec_faults[static_cast<size_t>(id)];
+                    fault_event(
+                        "fault.decode", id, now, now,
+                        StrFormat("\"token\": %d, \"attempt\": %d",
+                                  record.tokens_out,
+                                  decode_attempt[static_cast<size_t>(id)]));
+                    ++decode_attempt[static_cast<size_t>(id)];
+                    maybe_failover(id);
+                    if (record.failed_over) {
+                        // Breaker fired: this very step runs on the CPU
+                        // fallback — the mid-stream switch happens at a
+                        // step boundary, never inside one.
+                        place = DecodePlacement::kCpuFloat;
+                    } else if (decode_attempt[static_cast<size_t>(id)] >=
+                               fopts.max_attempts) {
+                        to_shed.push_back(id);
+                        continue;
+                    } else {
+                        ++record.retries;
+                        ++result.retries;
+                        retry_counter.Add(1);
+                        decode_ready[static_cast<size_t>(id)] =
+                            now + fault_plane.BackoffMs(
+                                      decode_attempt[static_cast<size_t>(
+                                          id)]);
+                        continue;
+                    }
+                }
+                // Successful NPU dispatch heals the breaker window; the
+                // token's retry counter starts fresh for the next token.
+                if (place == DecodePlacement::kNpuQuant) {
+                    consec_faults[static_cast<size_t>(id)] = 0;
+                }
+                decode_attempt[static_cast<size_t>(id)] = 0;
+            }
+            double price = profile.decode_token_ms;
+            double member_marginal = profile.decode_batch_marginal;
+            if (record.failed_over) {
+                // Post-failover pricing: the engine's CPU fallback path,
+                // batched at the serving layer's CPU marginal.
+                price = profile.cpu_decode_token_ms > 0.0
+                            ? profile.cpu_decode_token_ms
+                            : profile.decode_token_ms;
+                member_marginal = options_.decode_batch_marginal;
+            }
+            if (fopts.thermal.enabled &&
+                place == DecodePlacement::kNpuQuant) {
+                price *= thermal.ServiceScale();
+            }
+            token_ms = std::max(token_ms, price);
             // Engines that know their own batching marginal (NPU-resident
             // decode shares one weight stream per step) override the
             // configured default; the max across members keeps the step
             // cost conservative and independent of pool order, matching
             // token_ms.
-            engine_marginal =
-                std::max(engine_marginal, profile.decode_batch_marginal);
+            engine_marginal = std::max(engine_marginal, member_marginal);
+            step_members.push_back(id);
+            step_placements.push_back(place);
         }
+        for (int id : to_shed) {
+            decode_pool.erase(std::find(decode_pool.begin(),
+                                        decode_pool.end(), id));
+            shed_request(id, "decode_retry_budget");
+        }
+        if (step_members.empty()) return;  // everyone backing off or shed
         const double marginal = engine_marginal >= 0.0
                                     ? engine_marginal
                                     : options_.decode_batch_marginal;
         step_active = true;
         step_remaining_work =
             token_ms *
-            (1.0 + (static_cast<double>(batch) - 1.0) * marginal);
+            (1.0 +
+             (static_cast<double>(step_members.size()) - 1.0) * marginal);
         step_last_update = now;
         step_start = now;
+    };
+
+    // KV growth past the free pages preempts other page holders —
+    // preemption by recompute (pages released, prefill restarted from
+    // chunk 0). Also the back-pressure valve of the fault plane's pool
+    // shrink, with grower = -1 ("the pool itself shrank; any holder is
+    // fair game, youngest first").
+    //
+    // Victim order is what makes this terminate: (1) decode-pool members
+    // strictly *younger* than the grower, youngest first; (2) queued
+    // mid-prefill reservations; (3) the in-flight chunk; (4) the grower
+    // itself, only when members older than it hold the pages. The oldest
+    // decode member is thus never evicted — victims are always younger
+    // than whoever demands the pages — so it always reaches completion and
+    // frees its pages, and by induction every request eventually does.
+    // (Evicting victims *older* than the grower would livelock: two
+    // requests whose reservations overlap can ping-pong evictions forever,
+    // neither ever finishing.)
+    auto evict_one_for = [&](int grower) {
+        auto requeue = [&](int victim) {
+            kv_drop_all(victim);
+            RequestRecord& vrec =
+                result.records[static_cast<size_t>(victim)];
+            vrec.tokens_out = 0;
+            vrec.prefill_done_ms = -1.0;
+            ++vrec.evictions;
+            evict_counter.Add(1);
+            decode_attempt[static_cast<size_t>(victim)] = 0;
+            decode_ready[static_cast<size_t>(victim)] = 0.0;
+            obs::SimEvent ev;
+            ev.name = "sim.evict";
+            ev.t0_ms = now;
+            ev.req = victim;
+            sim_emit(std::move(ev));
+        };
+        long grower_pos = -1;  // -1: no grower, every member evictable
+        if (grower >= 0) {
+            grower_pos = std::find(decode_pool.begin(), decode_pool.end(),
+                                   grower) -
+                         decode_pool.begin();
+        }
+        for (size_t j = decode_pool.size();
+             j-- > 0 && static_cast<long>(j) > grower_pos;) {
+            const int victim = decode_pool[j];
+            decode_pool.erase(decode_pool.begin() + static_cast<long>(j));
+            requeue(victim);
+            PendingPrefill again;
+            again.id = victim;
+            again.profile =
+                &costs_.Costs(result.records[static_cast<size_t>(
+                    victim)].request.AsInference());
+            prefill_queue.push_back(again);
+            return true;
+        }
+        for (size_t j = prefill_queue.size(); j-- > 0;) {
+            PendingPrefill& pending = prefill_queue[j];
+            // Queued entries holding a reservation (mid-prefill, or a
+            // faulted chunk 0 awaiting retry) are evictable; entries that
+            // never dispatched hold nothing.
+            if (kv_held[static_cast<size_t>(pending.id)] == 0) continue;
+            requeue(pending.id);
+            pending.next_chunk = 0;  // recompute from chunk 0
+            pending.attempt = 0;
+            pending.ready_ms = 0.0;
+            return true;
+        }
+        if (npu_busy && npu_job.id != grower) {
+            // Cancel the in-flight chunk. Its partial execution is
+            // discarded untimed (no trace task, full duration backed out
+            // of the matching busy accumulator) so trace busy-time
+            // conservation and the trace↔replay parallelism hold.
+            if (npu_fate == FaultPlane::ChunkFate::kOk) {
+                result.npu_busy_ms -= npu_end - npu_start;
+            } else {
+                result.npu_faulted_ms -= npu_end - npu_start;
+            }
+            npu_busy = false;
+            requeue(npu_job.id);
+            npu_job.next_chunk = 0;
+            npu_job.attempt = 0;
+            npu_job.ready_ms = 0.0;
+            prefill_queue.push_back(npu_job);
+            return true;
+        }
+        return false;
+    };
+
+    // Memory pressure: the rest of the device claims pages back and the
+    // live budget drops mid-run. Defense, in order: shed every admitted
+    // request whose *whole* demand no longer fits (it could never complete
+    // and would thrash the smaller pool forever), then evict youngest-
+    // first through the termination-safe order until usage fits.
+    auto do_shrink = [&]() {
+        shrink_pending = false;
+        const int64_t new_budget = std::max<int64_t>(
+            1, static_cast<int64_t>(
+                   static_cast<double>(options_.kv_pool_pages) *
+                   fopts.pool_shrink_to));
+        live_budget = std::min(live_budget, new_budget);
+        result.kv_pool_pages_live = live_budget;
+        fault_event("fault.pool_shrink", -1, now, now,
+                    StrFormat("\"live_pages\": %lld",
+                              static_cast<long long>(live_budget)));
+        auto demand_of = [&](int id) {
+            const ServingRequest& request =
+                result.records[static_cast<size_t>(id)].request;
+            return pages_for(static_cast<int64_t>(request.prompt_len) +
+                             request.output_len);
+        };
+        for (size_t j = prefill_queue.size(); j-- > 0;) {
+            const int id = prefill_queue[j].id;
+            if (demand_of(id) > live_budget) {
+                prefill_queue.erase(prefill_queue.begin() +
+                                    static_cast<long>(j));
+                shed_request(id, "pool_shrink");
+            }
+        }
+        if (npu_busy && demand_of(npu_job.id) > live_budget) {
+            // Cancel the in-flight chunk untimed, same discipline as an
+            // eviction's category (3).
+            if (npu_fate == FaultPlane::ChunkFate::kOk) {
+                result.npu_busy_ms -= npu_end - npu_start;
+            } else {
+                result.npu_faulted_ms -= npu_end - npu_start;
+            }
+            npu_busy = false;
+            shed_request(npu_job.id, "pool_shrink");
+        }
+        for (size_t j = decode_pool.size(); j-- > 0;) {
+            const int id = decode_pool[j];
+            if (demand_of(id) > live_budget) {
+                decode_pool.erase(decode_pool.begin() +
+                                  static_cast<long>(j));
+                shed_request(id, "pool_shrink");
+            }
+        }
+        kv_free = live_budget - kv_used;
+        while (kv_used > live_budget) {
+            LLMNPU_CHECK(evict_one_for(-1));
+        }
+        // The degraded-mode invariant starts *after* the defense settles:
+        // from here on, usage never exceeds the live budget.
+        shrink_fired = true;
+        post_shrink_peak = kv_used;
+    };
+
+    // Deadline expiry while queued: a request whose SLO deadline passed
+    // before it ever dispatched is a lost cause — shed it at the deadline
+    // (an accounted SLO miss) and release any reserved pages instead of
+    // burning prefill on it.
+    auto expire_sweep = [&]() {
+        for (size_t j = prefill_queue.size(); j-- > 0;) {
+            const int id = prefill_queue[j].id;
+            const RequestRecord& record =
+                result.records[static_cast<size_t>(id)];
+            if (record.request.deadline_ms <= now) {
+                prefill_queue.erase(prefill_queue.begin() +
+                                    static_cast<long>(j));
+                shed_request(id, "deadline_expired");
+            }
+        }
+    };
+
+    // Brownout mode: while the die is throttled, queued requests whose
+    // deadline is infeasible even optimistically (remaining prefill at the
+    // current slowdown plus their decode stream) are shed rather than
+    // heating the NPU further for work that can only miss.
+    auto brownout_sweep = [&]() {
+        const double scale = thermal.ServiceScale();
+        for (size_t j = prefill_queue.size(); j-- > 0;) {
+            const PendingPrefill& pending = prefill_queue[j];
+            const RequestRecord& record =
+                result.records[static_cast<size_t>(pending.id)];
+            if (record.request.deadline_ms >= 1e300) continue;  // no SLO
+            const double finish_estimate =
+                now + pending.RemainingMs() * scale +
+                pending.profile->decode_token_ms *
+                    record.request.output_len;
+            if (finish_estimate > record.request.deadline_ms) {
+                const int id = pending.id;
+                prefill_queue.erase(prefill_queue.begin() +
+                                    static_cast<long>(j));
+                shed_request(id, "brownout");
+            }
+        }
     };
 
     auto next_arrival_time = [&]() {
@@ -332,9 +740,11 @@ ServingSimulator::Run()
     };
 
     // ---- Event loop: next event is the earliest of {arrival, chunk
-    // completion, decode-step completion at the current rate}. Decode work
-    // drains continuously at a rate that drops while a chunk is in flight,
-    // so its completion time is re-derived whenever the NPU state changes.
+    // completion, decode-step completion at the current rate, fault-plane
+    // wake-ups (retry backoffs expiring, queued deadlines expiring, the
+    // pool shrink)}. Decode work drains continuously at a rate that drops
+    // while a chunk is in flight, so its completion time is re-derived
+    // whenever the NPU state changes.
     while (true) {
         const double t_arrival = next_arrival_time();
         const double t_npu = npu_busy ? npu_end : kInf;
@@ -342,7 +752,30 @@ ServingSimulator::Run()
             step_active
                 ? step_last_update + step_remaining_work / decode_rate()
                 : kInf;
-        const double t_next = std::min({t_arrival, t_npu, t_step});
+        double t_aux = kInf;
+        if (inject_on || options_.shed_expired_queued) {
+            for (const PendingPrefill& pending : prefill_queue) {
+                if (pending.ready_ms > now) {
+                    t_aux = std::min(t_aux, pending.ready_ms);
+                }
+                if (options_.shed_expired_queued) {
+                    const double deadline =
+                        result.records[static_cast<size_t>(pending.id)]
+                            .request.deadline_ms;
+                    if (deadline > now) t_aux = std::min(t_aux, deadline);
+                }
+            }
+            for (int id : decode_pool) {
+                if (decode_ready[static_cast<size_t>(id)] > now) {
+                    t_aux = std::min(
+                        t_aux, decode_ready[static_cast<size_t>(id)]);
+                }
+            }
+            if (shrink_pending && fopts.pool_shrink_at_ms > now) {
+                t_aux = std::min(t_aux, fopts.pool_shrink_at_ms);
+            }
+        }
+        const double t_next = std::min({t_arrival, t_npu, t_step, t_aux});
         if (t_next == kInf) break;  // all quiet: run complete
 
         if (step_active) {
@@ -351,6 +784,19 @@ ServingSimulator::Run()
             step_last_update = t_next;
         }
         kv_integral += static_cast<double>(kv_used) * (t_next - now);
+        if (fopts.thermal.enabled) {
+            thermal.Advance(t_next - now, npu_busy);
+            if (thermal.Throttled()) throttled_ms += t_next - now;
+            peak_temp_c = std::max(peak_temp_c, thermal.temperature_c());
+            reg.GetGauge("sim.npu_temp_c").Set(thermal.temperature_c());
+            obs::SimEvent ev;
+            ev.name = "sim.npu_temp_c";
+            ev.phase = obs::TracePhase::kCounter;
+            ev.lane = obs::SimLane::kFaults;
+            ev.t0_ms = t_next;
+            ev.value = thermal.temperature_c();
+            sim_emit(std::move(ev));
+        }
         now = t_next;
         result.makespan_ms = std::max(result.makespan_ms, now);
 
@@ -365,41 +811,88 @@ ServingSimulator::Run()
             } else {
                 admit(open_arrivals[next_open++]);
             }
-        } else if (t_next == t_npu) {
-            result.trace_tasks.push_back(
-                {StrFormat("req%d.chunk%d", npu_job.id, npu_job.next_chunk),
-                 Unit::kNpu, npu_end - npu_start, {}, npu_job.next_chunk,
-                 -1});
-            result.trace.records.push_back({npu_start, npu_end});
-            {
-                obs::SimEvent ev;
-                ev.name = StrFormat("req%d.chunk%d", npu_job.id,
-                                    npu_job.next_chunk);
-                ev.phase = obs::TracePhase::kSpan;
-                ev.lane = obs::SimLane::kNpu;
-                ev.t0_ms = npu_start;
-                ev.t1_ms = npu_end;
-                ev.req = npu_job.id;
-                ev.args_json = StrFormat("\"chunk\": %d", npu_job.next_chunk);
-                sim_emit(std::move(ev));
-            }
-            result.replay_steps.push_back(
-                {/*is_prefill=*/true,
-                 {npu_job.id},
-                 npu_job.next_chunk,
-                 static_cast<int>(npu_job.profile->chunk_ms.size())});
-            npu_busy = false;
-            ++npu_job.next_chunk;
-            if (static_cast<size_t>(npu_job.next_chunk) <
-                npu_job.profile->chunk_ms.size()) {
-                prefill_queue.push_back(npu_job);
-            } else {
+        } else if (npu_busy && t_next == t_npu) {
+            if (npu_fate != FaultPlane::ChunkFate::kOk) {
+                // Faulted attempt: discarded work. No trace task, no
+                // replay step (precedent: an eviction's cancelled
+                // in-flight chunk) — the occupancy lives on the faults
+                // lane instead, so the trace still shows where the NPU's
+                // time actually went.
                 RequestRecord& record =
                     result.records[static_cast<size_t>(npu_job.id)];
-                record.prefill_done_ms = now;
-                decode_pool.push_back(npu_job.id);
+                ++record.faults;
+                ++result.faults;
+                fault_counter.Add(1);
+                ++consec_faults[static_cast<size_t>(npu_job.id)];
+                fault_event(
+                    npu_fate == FaultPlane::ChunkFate::kFail
+                        ? "fault.chunk_fail"
+                        : "fault.chunk_stall",
+                    npu_job.id, npu_start, npu_end,
+                    StrFormat("\"chunk\": %d, \"attempt\": %d",
+                              npu_job.next_chunk, npu_job.attempt));
+                npu_busy = false;
+                npu_fate = FaultPlane::ChunkFate::kOk;
+                maybe_failover(npu_job.id);
+                ++npu_job.attempt;
+                if (npu_job.attempt >= fopts.max_attempts) {
+                    // Retry budget exhausted: the request terminates as
+                    // shed — accounted, pages released, never goodput.
+                    shed_request(npu_job.id, "chunk_retry_budget");
+                } else {
+                    ++record.retries;
+                    ++result.retries;
+                    retry_counter.Add(1);
+                    npu_job.ready_ms =
+                        now + fault_plane.BackoffMs(npu_job.attempt);
+                    fault_event(
+                        "fault.retry", npu_job.id, now, now,
+                        StrFormat("\"attempt\": %d, \"not_before\": %.3f",
+                                  npu_job.attempt, npu_job.ready_ms));
+                    prefill_queue.push_back(npu_job);
+                }
+            } else {
+                result.trace_tasks.push_back(
+                    {StrFormat("req%d.chunk%d", npu_job.id,
+                               npu_job.next_chunk),
+                     Unit::kNpu, npu_end - npu_start, {},
+                     npu_job.next_chunk, -1});
+                result.trace.records.push_back({npu_start, npu_end});
+                {
+                    obs::SimEvent ev;
+                    ev.name = StrFormat("req%d.chunk%d", npu_job.id,
+                                        npu_job.next_chunk);
+                    ev.phase = obs::TracePhase::kSpan;
+                    ev.lane = obs::SimLane::kNpu;
+                    ev.t0_ms = npu_start;
+                    ev.t1_ms = npu_end;
+                    ev.req = npu_job.id;
+                    ev.args_json =
+                        StrFormat("\"chunk\": %d", npu_job.next_chunk);
+                    sim_emit(std::move(ev));
+                }
+                result.replay_steps.push_back(
+                    {/*is_prefill=*/true,
+                     {npu_job.id},
+                     npu_job.next_chunk,
+                     static_cast<int>(npu_job.profile->chunk_ms.size()),
+                     {}});
+                npu_busy = false;
+                consec_faults[static_cast<size_t>(npu_job.id)] = 0;
+                ++npu_job.next_chunk;
+                npu_job.attempt = 0;
+                npu_job.ready_ms = 0.0;
+                if (static_cast<size_t>(npu_job.next_chunk) <
+                    npu_job.profile->chunk_ms.size()) {
+                    prefill_queue.push_back(npu_job);
+                } else {
+                    RequestRecord& record =
+                        result.records[static_cast<size_t>(npu_job.id)];
+                    record.prefill_done_ms = now;
+                    decode_pool.push_back(npu_job.id);
+                }
             }
-        } else {  // decode step completes
+        } else if (step_active && t_next == t_step) {  // step completes
             const double elapsed = now - step_start;
             // Decode steps are always traced on the CPU lane, even when
             // their placement is the NPU: an NPU-resident decode step
@@ -427,14 +920,27 @@ ServingSimulator::Run()
                     static_cast<int>(step_members.size()));
                 sim_emit(std::move(ev));
             }
-            result.replay_steps.push_back(
-                {/*is_prefill=*/false, step_members, -1, 0});
+            {
+                ReplayStep rstep;
+                rstep.is_prefill = false;
+                rstep.request_ids = step_members;
+                if (inject_on) rstep.placements = step_placements;
+                result.replay_steps.push_back(std::move(rstep));
+            }
             ++step_counter;
             result.decode_busy_ms += elapsed;
             step_active = false;
             for (int id : step_members) {
                 RequestRecord& record =
                     result.records[static_cast<size_t>(id)];
+                // A mid-step pool shrink can shed or evict a member while
+                // its step is still draining; the discarded computation
+                // emits nothing.
+                if (record.shed) continue;
+                if (std::find(decode_pool.begin(), decode_pool.end(),
+                              id) == decode_pool.end()) {
+                    continue;  // evicted mid-step
+                }
                 ++record.tokens_out;
                 // TTFT is to the first token *ever* emitted; an evicted
                 // request's re-decode must not reset it.
@@ -465,78 +971,12 @@ ServingSimulator::Run()
                 }
             }
             // KV growth for the members that stay in the pool: each just
-            // appended one position. Under a bounded pool, growth past
-            // the free pages preempts other page holders — preemption by
-            // recompute (pages released, prefill restarted from chunk 0).
-            //
-            // Victim order is what makes this terminate: (1) decode-pool
-            // members strictly *younger* than the grower, youngest first;
-            // (2) queued mid-prefill reservations; (3) the in-flight
-            // chunk; (4) the grower itself, only when members older than
-            // it hold the pages. The oldest decode member is thus never
-            // evicted — victims are always younger than whoever demands
-            // the pages — so it always reaches completion and frees its
-            // pages, and by induction every request eventually does.
-            // (Evicting victims *older* than the grower would livelock:
-            // two requests whose reservations overlap can ping-pong
-            // evictions forever, neither ever finishing.)
-            auto evict_one_for = [&](int grower) {
-                auto requeue = [&](int victim) {
-                    kv_drop_all(victim);
-                    RequestRecord& vrec =
-                        result.records[static_cast<size_t>(victim)];
-                    vrec.tokens_out = 0;
-                    vrec.prefill_done_ms = -1.0;
-                    ++vrec.evictions;
-                    evict_counter.Add(1);
-                    obs::SimEvent ev;
-                    ev.name = "sim.evict";
-                    ev.t0_ms = now;
-                    ev.req = victim;
-                    sim_emit(std::move(ev));
-                };
-                const auto grower_at = std::find(decode_pool.begin(),
-                                                 decode_pool.end(), grower);
-                for (size_t j = decode_pool.size();
-                     j-- > 0 &&
-                     static_cast<long>(j) > grower_at - decode_pool.begin();) {
-                    const int victim = decode_pool[j];
-                    decode_pool.erase(decode_pool.begin() +
-                                      static_cast<long>(j));
-                    requeue(victim);
-                    PendingPrefill again;
-                    again.id = victim;
-                    again.profile =
-                        &costs_.Costs(result.records[static_cast<size_t>(
-                            victim)].request.AsInference());
-                    prefill_queue.push_back(again);
-                    return true;
-                }
-                for (size_t j = prefill_queue.size(); j-- > 0;) {
-                    PendingPrefill& pending = prefill_queue[j];
-                    if (pending.next_chunk == 0) continue;  // holds no pages
-                    requeue(pending.id);
-                    pending.next_chunk = 0;  // recompute from chunk 0
-                    return true;
-                }
-                if (npu_busy && npu_job.id != grower) {
-                    // Cancel the in-flight chunk. Its partial execution is
-                    // discarded untimed (no trace task, full duration
-                    // backed out of npu_busy_ms) so trace busy-time
-                    // conservation and the trace↔replay parallelism hold.
-                    result.npu_busy_ms -= npu_end - npu_start;
-                    npu_busy = false;
-                    requeue(npu_job.id);
-                    npu_job.next_chunk = 0;
-                    prefill_queue.push_back(npu_job);
-                    return true;
-                }
-                return false;
-            };
+            // appended one position; growth past the free pages runs the
+            // eviction order above.
             for (int id : step_members) {
                 if (std::find(decode_pool.begin(), decode_pool.end(), id) ==
                     decode_pool.end()) {
-                    continue;  // finished, or evicted by an earlier member
+                    continue;  // finished, shed, or evicted earlier
                 }
                 const RequestRecord& record =
                     result.records[static_cast<size_t>(id)];
@@ -575,15 +1015,27 @@ ServingSimulator::Run()
                 if (delta > 0) kv_take(id, delta);
             }
             step_members.clear();
+            step_placements.clear();
         }
+        // (Otherwise: a fault-plane wake-up — a retry backoff or queued
+        // deadline expiring, or the pool shrink. The sweeps and dispatch
+        // attempts below do the actual work.)
 
+        if (shrink_pending && now >= fopts.pool_shrink_at_ms) do_shrink();
+        if (options_.shed_expired_queued) expire_sweep();
+        if (inject_on && fopts.brownout_shedding && thermal.Throttled()) {
+            brownout_sweep();
+        }
         start_chunk_if_idle();
         start_step_if_idle();
     }
 
     if (result.makespan_ms > 0.0) {
         result.kv_pages_mean = kv_integral / result.makespan_ms;
+        result.npu_throttled_frac = throttled_ms / result.makespan_ms;
     }
+    result.peak_temp_c = peak_temp_c;
+    result.kv_pages_peak_post_shrink = post_shrink_peak;
 
     // Thin reads back from the registry: peak occupancy came from the
     // gauge watermark, evictions from the counter delta over this run.

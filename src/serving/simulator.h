@@ -23,7 +23,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/model/placement.h"
 #include "src/serving/cost_model.h"
+#include "src/serving/faults.h"
 #include "src/serving/metrics.h"
 #include "src/serving/policy.h"
 #include "src/serving/request.h"
@@ -77,6 +79,22 @@ struct ServingOptions {
      *  match the numeric plane's PagedKvOptions::page_size for honest
      *  accounting. */
     int64_t kv_page_size = 16;
+
+    /** Fault-injection scenario and its defenses (src/serving/faults.h).
+     *  Default-constructed = fully disabled: the simulator is bit-identical
+     *  to a build without the fault plane. */
+    FaultOptions faults;
+    /** Shed queued requests whose SLO deadline passed before they ever
+     *  dispatched: they count as shed (an SLO miss, never goodput) and
+     *  their reserved KV pages are released at the deadline. Off by
+     *  default so legacy runs are unchanged. */
+    bool shed_expired_queued = false;
+
+    /** Exits with a fatal user error on invalid parameters (bad pool
+     *  sizes, non-positive rates, out-of-range fault probabilities, ...).
+     *  Called at simulator construction so a bad sweep fails loudly at the
+     *  first run, not with a corrupted report. */
+    void Validate() const;
 };
 
 /**
@@ -96,6 +114,12 @@ struct ReplayStep {
     int chunk_index = -1;
     /** Prefill only: total chunks of the request. */
     int num_chunks = 0;
+    /** Decode only: executed placement per member, parallel to
+     *  request_ids. Filled only by fault-plane runs, where the circuit
+     *  breaker can fail a request's decode NPU->CPU mid-stream; the replay
+     *  bridge prefers these over its static per-request placement so the
+     *  failover schedule replays bitwise. Empty = caller decides (legacy). */
+    std::vector<DecodePlacement> placements;
 };
 
 /** Raw outcome of a serving run. */
@@ -117,6 +141,30 @@ struct ServingResult {
     int64_t kv_pages_peak = 0;
     /** Time-mean pages in use over the makespan. */
     double kv_pages_mean = 0.0;
+
+    /** Requests shed by the fault plane after admission (retry budget
+     *  exhausted, brownout, post-shrink infeasibility, queue expiry). */
+    int shed = 0;
+    /** Injected faults across the run (every faulted attempt counted). */
+    int faults = 0;
+    /** Retry dispatches after faults. */
+    int retries = 0;
+    /** Requests whose decode failed over NPU->CPU (circuit breaker). */
+    int failovers = 0;
+    /** NPU occupancy of faulted and cancelled attempts; discarded work,
+     *  kept out of npu_busy_ms so utilization stays honest. */
+    double npu_faulted_ms = 0.0;
+    /** Fraction of the makespan the NPU spent thermally throttled. */
+    double npu_throttled_frac = 0.0;
+    /** Peak die temperature over the run (start temperature when the
+     *  thermal model is disabled). */
+    double peak_temp_c = 0.0;
+    /** Live pool budget at the end of the run (== kv_pool_pages unless a
+     *  mid-run shrink fired). */
+    int64_t kv_pool_pages_live = 0;
+    /** Peak pages in use after a mid-run pool shrink completed (0 when no
+     *  shrink fired). Invariant: never exceeds kv_pool_pages_live. */
+    int64_t kv_pages_peak_post_shrink = 0;
 
     /** Executed quanta (chunks on the NPU, decode steps on the CPU) with
      *  their realized start/end times, for schedule-validity checks.
