@@ -54,7 +54,18 @@ foreach(needle
     "\"ns_per_site\""
     "\"overhead_ratio\""
     "\"mode\": \"trace\""
-    "\"write_ok\": true")
+    "\"write_ok\": true"
+    "\"mode\": \"policy_sweep\""
+    "\"placement_policy\": \"predicted\""
+    "\"admission_policy\": \"predicted-slo\""
+    "\"placement_flips\""
+    "\"name\": \"bench_predict\""
+    "\"bench\": \"predict\""
+    "\"mode\": \"fit_error\""
+    "\"median_rel_err\""
+    "\"mode\": \"roundtrip\""
+    "\"bitwise\": true"
+    "\"mode\": \"crossover\"")
   string(FIND "${content}" "${needle}" found)
   if(found EQUAL -1)
     message(FATAL_ERROR

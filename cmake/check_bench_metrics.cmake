@@ -32,6 +32,9 @@ endif()
 if(NOT DEFINED OBS_BAND)
   set(OBS_BAND 1.5)
 endif()
+if(NOT DEFINED PREDICT_BAND)
+  set(PREDICT_BAND 0.25)
+endif()
 
 # CMake's math() is integer-only: parse a non-negative decimal into
 # milli-units (x1000) so band comparisons become integer products.
@@ -364,6 +367,168 @@ function(check_obs_metrics json_path band)
   set(obs_checked ${checked} PARENT_SCOPE)
 endfunction()
 
+# Checks the bench_serving policy_sweep rows' hard acceptance invariant:
+# at every swept offered load, the dynamic predicted-placement policy's
+# goodput must be at least 0.95x the best static placement's goodput.
+# Only the placement-sweep rows participate (placement_flips >= 0; the
+# admission-comparison rows at the end of the sweep run under a different
+# SLO and report placement_flips = -1). No baseline needed: the invariant
+# is the tentpole claim itself — a dynamic policy that loses to a static
+# one it could have imitated is a regression at any absolute level.
+function(check_policy_sweep json_path)
+  file(READ ${json_path} content)
+  string(JSON num_benches LENGTH ${content} "benches")
+  set(ratios "")
+  math(EXPR last_bench "${num_benches} - 1")
+  foreach(b RANGE ${last_bench})
+    string(JSON bench_name GET ${content} "benches" ${b} "name")
+    if(NOT bench_name STREQUAL "bench_serving")
+      continue()
+    endif()
+    string(JSON num_metrics ERROR_VARIABLE err
+           LENGTH ${content} "benches" ${b} "metrics")
+    if(err OR num_metrics EQUAL 0)
+      continue()
+    endif()
+    math(EXPR last_metric "${num_metrics} - 1")
+    foreach(i RANGE ${last_metric})
+      set(prefix "benches" ${b} "metrics" ${i})
+      string(JSON mode ERROR_VARIABLE err GET ${content} ${prefix} "mode")
+      if(err OR NOT mode STREQUAL "policy_sweep")
+        continue()
+      endif()
+      string(JSON flips GET ${content} ${prefix} "placement_flips")
+      if(flips LESS 0)
+        continue()
+      endif()
+      string(JSON ratio GET ${content} ${prefix} "offered_ratio")
+      string(JSON policy GET ${content} ${prefix} "placement_policy")
+      string(JSON goodput GET ${content} ${prefix} "goodput_rps")
+      to_milli(${goodput} goodput_milli)
+      if(NOT ratio IN_LIST ratios)
+        list(APPEND ratios "${ratio}")
+        set(best_static_${ratio} 0)
+        set(dynamic_${ratio} "")
+      endif()
+      if(policy STREQUAL "predicted")
+        set(dynamic_${ratio} "${goodput_milli}")
+      elseif(goodput_milli GREATER best_static_${ratio})
+        set(best_static_${ratio} "${goodput_milli}")
+      endif()
+    endforeach()
+  endforeach()
+  if(ratios STREQUAL "")
+    message(FATAL_ERROR
+      "check_bench_metrics: ${json_path} has no policy_sweep placement "
+      "rows — the bench_serving control-plane METRIC output regressed")
+  endif()
+  set(checked 0)
+  foreach(ratio IN LISTS ratios)
+    if(dynamic_${ratio} STREQUAL "" OR best_static_${ratio} EQUAL 0)
+      message(FATAL_ERROR
+        "check_bench_metrics: ${json_path}: policy_sweep ratio ${ratio} "
+        "is missing the predicted row or every static row")
+    endif()
+    math(EXPR lhs "${dynamic_${ratio}} * 100")
+    math(EXPR rhs "${best_static_${ratio}} * 95")
+    if(lhs LESS rhs)
+      message(FATAL_ERROR
+        "check_bench_metrics: ${json_path}: at offered_ratio=${ratio} the "
+        "dynamic policy's goodput (${dynamic_${ratio}} milli-rps) fell "
+        "below 0.95x the best static (${best_static_${ratio}} milli-rps) "
+        "— dynamic placement must match or beat what it could imitate")
+    endif()
+    math(EXPR checked "${checked} + 1")
+  endforeach()
+  set(policy_checked ${checked} PARENT_SCOPE)
+endfunction()
+
+# Checks the bench_predict rows against absolute bands (no committed
+# baseline: the predictor's training set IS the committed baseline, so
+# its held-in error is already a self-relative quantity):
+#  - every banded fit_error row's median relative error stays under
+#    PREDICT_BAND (trace-sourced wall-clock classes report unbanded);
+#  - the model serialization round-trips bitwise;
+#  - the fitted decode-step crossover keeps the paper's shape: CPU wins
+#    at batch 1, the NPU wins at batch 32.
+function(check_predict_metrics json_path band)
+  file(READ ${json_path} content)
+  string(JSON num_benches LENGTH ${content} "benches")
+  to_milli(${band} band_milli)
+  set(err_checked 0)
+  set(roundtrip_seen 0)
+  set(winner_1 "")
+  set(winner_32 "")
+  math(EXPR last_bench "${num_benches} - 1")
+  foreach(b RANGE ${last_bench})
+    string(JSON bench_name GET ${content} "benches" ${b} "name")
+    if(NOT bench_name STREQUAL "bench_predict")
+      continue()
+    endif()
+    string(JSON num_metrics ERROR_VARIABLE err
+           LENGTH ${content} "benches" ${b} "metrics")
+    if(err OR num_metrics EQUAL 0)
+      message(FATAL_ERROR
+        "check_bench_metrics: ${json_path} has no bench_predict metric "
+        "rows — the latency-predictor METRIC output regressed")
+    endif()
+    math(EXPR last_metric "${num_metrics} - 1")
+    foreach(i RANGE ${last_metric})
+      set(prefix "benches" ${b} "metrics" ${i})
+      string(JSON mode GET ${content} ${prefix} "mode")
+      if(mode STREQUAL "fit_error")
+        string(JSON op GET ${content} ${prefix} "op")
+        string(JSON banded GET ${content} ${prefix} "banded")
+        string(JSON median GET ${content} ${prefix} "median_rel_err")
+        if(NOT banded)
+          continue()
+        endif()
+        to_milli(${median} median_milli)
+        if(median_milli GREATER band_milli)
+          message(FATAL_ERROR
+            "check_bench_metrics: ${json_path}: predictor class ${op} has "
+            "median_rel_err=${median} above the ${band} band — the fitted "
+            "latency model stopped tracking the measurements")
+        endif()
+        math(EXPR err_checked "${err_checked} + 1")
+      elseif(mode STREQUAL "roundtrip")
+        string(JSON bitwise GET ${content} ${prefix} "bitwise")
+        if(NOT bitwise)
+          message(FATAL_ERROR
+            "check_bench_metrics: ${json_path}: latency-model "
+            "serialization is not a bitwise round-trip")
+        endif()
+        math(EXPR roundtrip_seen "${roundtrip_seen} + 1")
+      elseif(mode STREQUAL "crossover")
+        string(JSON batch GET ${content} ${prefix} "batch")
+        string(JSON winner GET ${content} ${prefix} "winner")
+        if(batch EQUAL 1)
+          set(winner_1 "${winner}")
+        elseif(batch EQUAL 32)
+          set(winner_32 "${winner}")
+        endif()
+      endif()
+    endforeach()
+  endforeach()
+  if(err_checked EQUAL 0)
+    message(FATAL_ERROR
+      "check_bench_metrics: ${json_path} has no banded bench_predict "
+      "fit_error rows — the predictor-error METRIC output regressed")
+  endif()
+  if(roundtrip_seen EQUAL 0)
+    message(FATAL_ERROR
+      "check_bench_metrics: ${json_path} has no bench_predict roundtrip "
+      "row")
+  endif()
+  if(NOT winner_1 STREQUAL "cpu" OR NOT winner_32 STREQUAL "npu")
+    message(FATAL_ERROR
+      "check_bench_metrics: ${json_path}: fitted crossover shape broke — "
+      "batch-1 winner '${winner_1}' (want cpu), batch-32 winner "
+      "'${winner_32}' (want npu)")
+  endif()
+  set(predict_checked ${err_checked} PARENT_SCOPE)
+endfunction()
+
 # Band-checks every fresh "key=value" pair whose key exists in the baseline
 # list against `band` (e.g. 5.0 = within 5x either way); fails if none
 # match or any value strays outside the band.
@@ -439,10 +604,17 @@ check_fault_shrink(${RESULTS})
 
 check_obs_metrics(${RESULTS} ${OBS_BAND})
 
+check_policy_sweep(${RESULTS})
+
+check_predict_metrics(${RESULTS} ${PREDICT_BAND})
+
 message(STATUS
   "check_bench_metrics: ${kernel_matched} kernel rows within ${BAND}x, "
   "${decode_matched} decode-placement rows, ${paged_matched} paged-KV "
   "occupancy rows, and ${band_matched} zero-fault goodput rows within "
   "${DECODE_BAND}x of the committed baseline; ${shrink_checked} "
   "pool-shrink row(s) inside the live budget; ${obs_checked} "
-  "tracer-overhead rows within the absolute ${OBS_BAND}x band")
+  "tracer-overhead rows within the absolute ${OBS_BAND}x band; "
+  "${policy_checked} policy-sweep load(s) with dynamic >= 0.95x best "
+  "static; ${predict_checked} predictor classes within the absolute "
+  "${PREDICT_BAND} error band")

@@ -384,6 +384,19 @@ LlmNpuEngine::ServingCosts(const ModelConfig& config, const SocSpec& soc,
     return profile;
 }
 
+double
+LlmNpuEngine::DecodeStepMs(const ModelConfig& config, const SocSpec& soc,
+                           DecodePlacement placement, int64_t kv_len,
+                           int batch, double fallback_marginal)
+{
+    if (placement == DecodePlacement::kNpuQuant) {
+        return NpuDecodeStep(config, soc, kv_len, std::max(1, batch))
+            .TotalMs();
+    }
+    return InferenceEngine::DecodeStepMs(config, soc, placement, kv_len,
+                                         batch, fallback_marginal);
+}
+
 EngineResult
 LlmNpuEngine::Run(const ModelConfig& config, const SocSpec& soc,
                   const InferenceRequest& request)

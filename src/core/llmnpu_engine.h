@@ -74,6 +74,14 @@ class LlmNpuEngine : public InferenceEngine
                                     const SocSpec& soc,
                                     const InferenceRequest& request) override;
 
+    /** Calibrated step prices per placement: the NPU side runs through
+     *  NpuDecodeStep's full decomposition regardless of where this
+     *  engine's own profile places decode, so a dynamic placement policy
+     *  can price the road not taken. */
+    double DecodeStepMs(const ModelConfig& config, const SocSpec& soc,
+                        DecodePlacement placement, int64_t kv_len, int batch,
+                        double fallback_marginal) override;
+
     const LlmNpuOptions& options() const { return options_; }
 
     /** Full prefill simulation detail (timeline + tasks) for analyses. */

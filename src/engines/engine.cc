@@ -26,4 +26,25 @@ InferenceEngine::ServingCosts(const ModelConfig& config, const SocSpec& soc,
     return profile;
 }
 
+double
+InferenceEngine::DecodeStepMs(const ModelConfig& config, const SocSpec& soc,
+                              DecodePlacement placement, int64_t kv_len,
+                              int batch, double fallback_marginal)
+{
+    InferenceRequest request;
+    request.prompt_len = static_cast<int>(std::max<int64_t>(1, kv_len));
+    request.output_len = 1;
+    const ServingCostProfile profile = ServingCosts(config, soc, request);
+    double token_ms = profile.decode_token_ms;
+    if (placement == DecodePlacement::kCpuFloat &&
+        profile.decode_placement != DecodePlacement::kCpuFloat &&
+        profile.cpu_decode_token_ms > 0.0) {
+        token_ms = profile.cpu_decode_token_ms;
+    }
+    const double marginal = profile.decode_batch_marginal >= 0.0
+                                ? profile.decode_batch_marginal
+                                : fallback_marginal;
+    return token_ms * (1.0 + (std::max(1, batch) - 1) * marginal);
+}
+
 }  // namespace llmnpu

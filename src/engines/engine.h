@@ -11,6 +11,7 @@
 #define LLMNPU_ENGINES_ENGINE_H
 
 #include <array>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -176,6 +177,26 @@ class InferenceEngine
     virtual ServingCostProfile ServingCosts(const ModelConfig& config,
                                             const SocSpec& soc,
                                             const InferenceRequest& request);
+
+    /**
+     * Prices one continuously batched decode step: `batch` streams at
+     * context `kv_len`, every member placed on `placement`. This is the
+     * calibrated provider behind the predict::StepCostOracle interface
+     * (src/predict/step_cost.h): ServingCostModel forwards here, dynamic
+     * placement policies decide against it, and the learned latency model
+     * is fitted from it.
+     *
+     * The default derives the price from ServingCosts(): the profile's
+     * per-token cost at the requested placement (cpu_decode_token_ms when
+     * asked for the CPU path of an NPU-placed profile, decode_token_ms
+     * otherwise), under the batched-step law
+     * step = token * (1 + (B-1) * marginal), with `fallback_marginal`
+     * standing in when the engine has no opinion. Engines with a real
+     * per-placement decomposition (LlmNpuEngine's NpuDecodeStep) override.
+     */
+    virtual double DecodeStepMs(const ModelConfig& config, const SocSpec& soc,
+                                DecodePlacement placement, int64_t kv_len,
+                                int batch, double fallback_marginal);
 };
 
 }  // namespace llmnpu

@@ -107,8 +107,8 @@ DecodeBackend::Forward(int layer, LinearKind kind, const Tensor& x)
         c.npu_linear_calls.Add(1);
         c.handoffs.Add(1);
         c.quantized_elems.Add(x.NumElements());
-        LLMNPU_TRACE_SPAN_ID("handoff.npu_linear", "handoff", -1, -1,
-                             layer);
+        LLMNPU_TRACE_SPAN_TILE("handoff.npu_linear", "handoff", -1, -1,
+                               layer, "rows", static_cast<int>(x.Rows()));
         Tensor y = npu_quant_.Forward(layer, kind, x);
         c.dequantized_elems.Add(y.NumElements());
         return y;
@@ -143,8 +143,8 @@ DecodeBackend::ForwardBatch(int layer, LinearKind kind, const Tensor& x,
             c.npu_linear_calls.Add(static_cast<int64_t>(num_segments));
             c.handoffs.Add(1);
             c.quantized_elems.Add(x.NumElements());
-            LLMNPU_TRACE_SPAN_ID("handoff.npu_batch", "handoff", -1, -1,
-                                 layer);
+            LLMNPU_TRACE_SPAN_TILE("handoff.npu_batch", "handoff", -1, -1,
+                                   layer, "rows", static_cast<int>(x.Rows()));
             Tensor y = npu_quant_.ForwardBatch(layer, kind, x, segments);
             c.dequantized_elems.Add(y.NumElements());
             return y;
@@ -175,8 +175,8 @@ DecodeBackend::ForwardBatch(int layer, LinearKind kind, const Tensor& x,
             c.npu_linear_calls.Add(static_cast<int64_t>(last - first));
             c.handoffs.Add(1);
             c.quantized_elems.Add(sub.NumElements());
-            LLMNPU_TRACE_SPAN_ID("handoff.npu_run", "handoff", -1, -1,
-                                 layer);
+            LLMNPU_TRACE_SPAN_TILE("handoff.npu_run", "handoff", -1, -1,
+                                   layer, "rows", static_cast<int>(sub.Rows()));
             y = npu_quant_.ForwardBatch(layer, kind, sub, sub_segments);
             c.dequantized_elems.Add(y.NumElements());
         } else {

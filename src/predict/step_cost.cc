@@ -1,0 +1,17 @@
+#include "src/predict/step_cost.h"
+
+namespace llmnpu {
+namespace predict {
+
+double
+PredictedStepCosts::StepMs(DecodePlacement placement, int64_t ctx,
+                           int batch) const
+{
+    const OpClass op = placement == DecodePlacement::kNpuQuant
+                           ? OpClass::kDecodeStepNpu
+                           : OpClass::kDecodeStepCpu;
+    return model_->PredictMs(op, StepFeatures(batch, ctx));
+}
+
+}  // namespace predict
+}  // namespace llmnpu

@@ -1,5 +1,7 @@
 #include "src/serving/cost_model.h"
 
+#include <algorithm>
+
 namespace llmnpu {
 
 const ServingCostProfile&
@@ -20,6 +22,24 @@ ServingCostModel::IsolatedE2eMs(const InferenceRequest& request)
     const ServingCostProfile& profile = Costs(request);
     return profile.PrefillMs() +
            profile.decode_token_ms * request.output_len;
+}
+
+double
+ServingCostModel::StepMs(DecodePlacement placement, int64_t ctx,
+                         int batch) const
+{
+    const int64_t bucket = ((std::max<int64_t>(1, ctx) + 63) / 64) * 64;
+    const std::tuple<int, int64_t, int> key{static_cast<int>(placement),
+                                            bucket, batch};
+    auto it = step_cache_.find(key);
+    if (it == step_cache_.end()) {
+        it = step_cache_
+                 .emplace(key, engine_.DecodeStepMs(
+                                   config_, soc_, placement, bucket, batch,
+                                   default_batch_marginal_))
+                 .first;
+    }
+    return it->second;
 }
 
 }  // namespace llmnpu

@@ -4,22 +4,31 @@
  * streams repeat (prompt_len, output_len) pairs across policies and load
  * levels, and a full llm.npu decomposition replays the prefill timeline,
  * so the serving layer caches profiles per request shape.
+ *
+ * ServingCostModel is also the *calibrated* provider of the
+ * predict::StepCostOracle interface: StepMs() forwards to the engine's
+ * DecodeStepMs decomposition (memoized, context bucketed). The learned
+ * LatencyModel (src/predict) is the other provider; dynamic placement
+ * policies take either, while the simulator always prices executed steps
+ * through this one.
  */
 #ifndef LLMNPU_SERVING_COST_MODEL_H
 #define LLMNPU_SERVING_COST_MODEL_H
 
 #include <cstdint>
 #include <map>
+#include <tuple>
 #include <utility>
 
 #include "src/engines/engine.h"
+#include "src/predict/step_cost.h"
 
 namespace llmnpu {
 
 /** Caches ServingCostProfile per (prompt_len, output_len) for one
  *  (engine, model, device) triple. Share one instance across simulator
  *  runs that sweep policies/loads over the same triple. */
-class ServingCostModel
+class ServingCostModel : public predict::StepCostOracle
 {
   public:
     ServingCostModel(InferenceEngine& engine, const ModelConfig& config,
@@ -34,6 +43,21 @@ class ServingCostModel
      *  request would take with the device to itself (SLO baseline). */
     double IsolatedE2eMs(const InferenceRequest& request);
 
+    /** Calibrated step price: the engine's DecodeStepMs at (placement,
+     *  ctx, batch), with ctx rounded up to a 64-token bucket so sweeps
+     *  over growing contexts hit the memo instead of re-decomposing. */
+    double StepMs(DecodePlacement placement, int64_t ctx,
+                  int batch) const override;
+
+    /** Serving-layer default batch marginal handed to engines with no
+     *  opinion (mirrors ServingOptions::decode_batch_marginal; the
+     *  simulator syncs it at Run() start). */
+    void set_default_batch_marginal(double marginal)
+    {
+        default_batch_marginal_ = marginal;
+    }
+    double default_batch_marginal() const { return default_batch_marginal_; }
+
     const ModelConfig& config() const { return config_; }
     const SocSpec& soc() const { return soc_; }
 
@@ -41,7 +65,9 @@ class ServingCostModel
     InferenceEngine& engine_;
     ModelConfig config_;
     SocSpec soc_;
+    double default_batch_marginal_ = 0.15;
     std::map<std::pair<int, int>, ServingCostProfile> cache_;
+    mutable std::map<std::tuple<int, int64_t, int>, double> step_cache_;
 };
 
 }  // namespace llmnpu

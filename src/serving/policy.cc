@@ -1,5 +1,7 @@
 #include "src/serving/policy.h"
 
+#include <algorithm>
+
 #include "src/util/check.h"
 
 namespace llmnpu {
@@ -67,6 +69,127 @@ PickNext(SchedPolicy policy, const std::vector<QueueEntry>& queue,
         if (Before(policy, queue[i], queue[best], now_ms)) best = i;
     }
     return best;
+}
+
+// ------------------------------------------------------- placement policy
+
+DecodePlacement
+StaticPlacement::Place(const PlacementQuery& query) const
+{
+    if (query.record != nullptr && query.record->failed_over) {
+        return DecodePlacement::kCpuFloat;
+    }
+    return query.profile != nullptr ? query.profile->decode_placement
+                                    : DecodePlacement::kCpuFloat;
+}
+
+DecodePlacement
+PredictedPlacement::Place(const PlacementQuery& query) const
+{
+    if (query.record != nullptr && query.record->failed_over) {
+        return DecodePlacement::kCpuFloat;  // breaker is permanent (PR 8)
+    }
+    const int batch = std::max(1, query.batch_depth);
+    const int64_t ctx = std::max<int64_t>(1, query.context_len);
+    const double cpu_ms =
+        oracle_->StepMs(DecodePlacement::kCpuFloat, ctx, batch);
+    double npu_ms = oracle_->StepMs(DecodePlacement::kNpuQuant, ctx, batch);
+    // Degradation-aware: a throttled NPU serves slower by the thermal
+    // scale and a flaky one burns retry attempts — inflate the predicted
+    // NPU price by both before comparing. Ties go to the CPU (the cheap,
+    // fault-free side).
+    npu_ms *= std::max(1.0, query.signals.npu_service_scale);
+    npu_ms *= 1.0 + query.signals.npu_fault_rate;
+    return npu_ms < cpu_ms ? DecodePlacement::kNpuQuant
+                           : DecodePlacement::kCpuFloat;
+}
+
+// ------------------------------------------------------- admission policy
+
+bool
+ThresholdAdmission::Admit(const AdmissionQuery& query) const
+{
+    return query.kv_live_budget <= 0 ||
+           query.kv_demand_pages <= query.kv_live_budget;
+}
+
+bool
+PredictedSloAdmission::Admit(const AdmissionQuery& query) const
+{
+    if (!ThresholdAdmission().Admit(query)) return false;
+    if (query.request == nullptr || query.request->deadline_ms >= 1e300) {
+        return true;  // no SLO: nothing to be infeasible against
+    }
+    // Inflate the predicted service by the live degradation signals (a
+    // throttled NPU stretches every chunk by the thermal scale, a flaky
+    // one re-runs a fault_rate fraction of dispatches) and by decode
+    // congestion: the isolated figure prices decode solo, but this
+    // arrival would join a continuous batch where every resident stream
+    // adds one batch-marginal share to its steps.
+    double service_ms = query.isolated_e2e_ms *
+                        std::max(1.0, query.signals.npu_service_scale) *
+                        (1.0 + query.signals.npu_fault_rate) *
+                        (1.0 + std::max(0.0, query.decode_batch_marginal) *
+                                   query.signals.decode_pool_depth);
+    const double predicted_finish =
+        query.signals.now_ms + query.queued_prefill_ms +
+        service_ms * headroom_;
+    return predicted_finish <= query.request->deadline_ms;
+}
+
+// --------------------------------------------------------------- registry
+
+const std::vector<PlacementPolicySpec>&
+PlacementPolicyRegistry()
+{
+    static const std::vector<PlacementPolicySpec>* const kRegistry =
+        new std::vector<PlacementPolicySpec>{
+            {"static-cpu", DecodePlacement::kCpuFloat, false},
+            {"static-npu", DecodePlacement::kNpuQuant, false},
+            {"predicted", DecodePlacement::kCpuFloat, true},
+        };
+    return *kRegistry;
+}
+
+std::shared_ptr<PlacementPolicy>
+MakePlacementPolicy(const std::string& name,
+                    const predict::StepCostOracle* oracle)
+{
+    for (const PlacementPolicySpec& spec : PlacementPolicyRegistry()) {
+        if (spec.name != name) continue;
+        if (!spec.dynamic) {
+            return std::make_shared<StaticPlacement>(spec.name);
+        }
+        LLMNPU_CHECK(oracle != nullptr);
+        return std::make_shared<PredictedPlacement>(*oracle, spec.name);
+    }
+    LLMNPU_FATAL_IF(true, "unknown placement policy '" + name + "'");
+    return nullptr;
+}
+
+const std::vector<std::string>&
+AdmissionPolicyRegistry()
+{
+    static const std::vector<std::string>* const kRegistry =
+        new std::vector<std::string>{"threshold", "predicted-slo"};
+    return *kRegistry;
+}
+
+std::shared_ptr<AdmissionPolicy>
+MakeAdmissionPolicy(const std::string& name)
+{
+    if (name == "threshold") return std::make_shared<ThresholdAdmission>();
+    if (name == "predicted-slo") {
+        return std::make_shared<PredictedSloAdmission>();
+    }
+    LLMNPU_FATAL_IF(true, "unknown admission policy '" + name + "'");
+    return nullptr;
+}
+
+std::shared_ptr<QueuePolicy>
+MakeQueuePolicy(SchedPolicy policy)
+{
+    return std::make_shared<SchedQueuePolicy>(policy);
 }
 
 }  // namespace llmnpu

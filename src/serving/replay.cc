@@ -188,10 +188,19 @@ ReplayTraceImpl(const std::vector<ReplayStep>& steps,
         }
         Tensor hidden, logits;
         {
+            // Prefill spans carry the chunk's token-row count — the
+            // predictor's chunk-dispatch training feature; decode spans
+            // keep the batch size.
+            int step_rows = 0;
+            for (const BatchSeq& seq : batch) {
+                step_rows += static_cast<int>(seq.tokens.size());
+            }
             LLMNPU_TRACE_SPAN_TILE(
                 step.is_prefill ? "replay.prefill" : "replay.decode",
                 "replay", member_ids.front(), batch.front().seq, -1,
-                "batch", static_cast<int>(batch.size()));
+                step.is_prefill ? "rows" : "batch",
+                step.is_prefill ? step_rows
+                                : static_cast<int>(batch.size()));
             hidden = model.ForwardBatch(batch, cache, linears);
             logits = model.Logits(hidden);
         }
@@ -271,9 +280,31 @@ ReplayServingTrace(const std::vector<ReplayStep>& steps,
                    const Transformer& model, LinearExecutor& linears,
                    const ReplayOptions& options)
 {
-    return ReplayTraceImpl(steps, records, model, linears,
-                           /*placement=*/nullptr, /*backend=*/nullptr,
-                           options);
+    DecodeBackend* backend = nullptr;
+    const ReplayPlacement* placement = nullptr;
+    if (options.placement.has_value()) {
+        backend = dynamic_cast<DecodeBackend*>(&linears);
+        LLMNPU_FATAL_IF(backend == nullptr,
+                        "ReplayOptions::placement requires `linears` to be "
+                        "a DecodeBackend (per-member placement routing)");
+        placement = &*options.placement;
+    }
+    // Trace capture: a replay with a sink runs with the host-plane tracer
+    // on, so the handoff and chunk-dispatch spans land somewhere the
+    // predictor's training extractor can read them back.
+    const bool want_trace = !options.trace_sink.empty();
+    const bool was_enabled = obs::TraceEnabled();
+    if (want_trace && !was_enabled) {
+        obs::Tracer::Global().Enable();
+        obs::Tracer::Global().Reset();
+    }
+    ReplayOutcome outcome = ReplayTraceImpl(steps, records, model, linears,
+                                            placement, backend, options);
+    if (want_trace) {
+        obs::Tracer::Global().WriteChromeTrace(options.trace_sink);
+        if (!was_enabled) obs::Tracer::Global().Disable();
+    }
+    return outcome;
 }
 
 ReplayOutcome
@@ -283,8 +314,11 @@ ReplayServingTrace(const std::vector<ReplayStep>& steps,
                    const ReplayPlacement& placement,
                    const ReplayOptions& options)
 {
-    return ReplayTraceImpl(steps, records, model, backend, &placement,
-                           &backend, options);
+    ReplayOptions unified = options;
+    unified.placement = placement;
+    return ReplayServingTrace(steps, records, model,
+                              static_cast<LinearExecutor&>(backend),
+                              unified);
 }
 
 }  // namespace llmnpu

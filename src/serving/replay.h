@@ -16,6 +16,7 @@
 #ifndef LLMNPU_SERVING_REPLAY_H
 #define LLMNPU_SERVING_REPLAY_H
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -24,41 +25,6 @@
 #include "src/serving/simulator.h"
 
 namespace llmnpu {
-
-/** Options scaling a served trace down to a tractable numeric replay. */
-struct ReplayOptions {
-    /** Replayed prompt length: the serving-trace prompt length clamped to
-     *  [num_chunks, max_prompt_tokens] (each chunk needs >= 1 token). */
-    int max_prompt_tokens = 24;
-    /** Decode tokens replayed per request; members past the cap drop out of
-     *  later decode steps (their truncated memberships are counted). */
-    int max_output_tokens = 4;
-    /** Seed for the per-request synthetic token streams. */
-    uint64_t seed = 0xb47c;
-    /** Re-run every sequence alone and compare hidden states and logits
-     *  bitwise against the batched replay. */
-    bool check_bitwise = true;
-};
-
-/** What the replay executed and whether it matched sequential execution. */
-struct ReplayOutcome {
-    int sequences = 0;
-    int steps_executed = 0;
-    int prefill_steps = 0;
-    int decode_steps = 0;
-    /** Largest decode batch actually stacked (the m of the m=B matmul). */
-    int max_decode_batch = 0;
-    /** Total activation rows pushed through ForwardBatch. */
-    int64_t stacked_rows = 0;
-    /** Decode-step memberships dropped by max_output_tokens. */
-    int64_t truncated_memberships = 0;
-    /** true when every sequence's hidden states and logits were bitwise
-     *  identical to running it alone (always true when check_bitwise was
-     *  off and no comparison ran). */
-    bool bitwise_match = true;
-    /** First mismatch description, empty when bitwise_match. */
-    std::string first_mismatch;
-};
 
 /**
  * Decode placement of a placement-aware replay: where each request's
@@ -83,8 +49,62 @@ struct ReplayPlacement {
     }
 };
 
+/** Options scaling a served trace down to a tractable numeric replay. */
+struct ReplayOptions {
+    /** Replayed prompt length: the serving-trace prompt length clamped to
+     *  [num_chunks, max_prompt_tokens] (each chunk needs >= 1 token). */
+    int max_prompt_tokens = 24;
+    /** Decode tokens replayed per request; members past the cap drop out of
+     *  later decode steps (their truncated memberships are counted). */
+    int max_output_tokens = 4;
+    /** Seed for the per-request synthetic token streams. */
+    uint64_t seed = 0xb47c;
+    /** Re-run every sequence alone and compare hidden states and logits
+     *  bitwise against the batched replay. */
+    bool check_bitwise = true;
+    /** Placement-aware replay: set to route every step through a
+     *  DecodeBackend with per-member placements — prefill chunks on
+     *  placement->prefill, each decode member on the trace-recorded
+     *  placement when present (fault failovers, dynamic policies), else
+     *  its request's static placement. Requires `linears` to actually be
+     *  a DecodeBackend (fatal otherwise). */
+    std::optional<ReplayPlacement> placement;
+    /** Non-empty: the replay runs with host-plane tracing on and writes a
+     *  Chrome/Perfetto trace of its spans to this path (the predictor's
+     *  handoff / chunk-dispatch training source). A tracer that was
+     *  already enabled keeps its buffer and stays enabled; otherwise the
+     *  tracer is enabled for the replay and restored after. */
+    std::string trace_sink;
+};
+
+/** What the replay executed and whether it matched sequential execution. */
+struct ReplayOutcome {
+    int sequences = 0;
+    int steps_executed = 0;
+    int prefill_steps = 0;
+    int decode_steps = 0;
+    /** Largest decode batch actually stacked (the m of the m=B matmul). */
+    int max_decode_batch = 0;
+    /** Total activation rows pushed through ForwardBatch. */
+    int64_t stacked_rows = 0;
+    /** Decode-step memberships dropped by max_output_tokens. */
+    int64_t truncated_memberships = 0;
+    /** true when every sequence's hidden states and logits were bitwise
+     *  identical to running it alone (always true when check_bitwise was
+     *  off and no comparison ran). */
+    bool bitwise_match = true;
+    /** First mismatch description, empty when bitwise_match. */
+    std::string first_mismatch;
+};
+
 /**
  * Replays `steps` (from a ServingResult) through `model` with `linears`.
+ * The single entry point: placement-aware routing and trace capture are
+ * both ReplayOptions fields (`placement`, `trace_sink`). With
+ * options.placement set, `linears` must be a DecodeBackend; one batched
+ * decode step may then mix NPU-quantized and CPU-float sequences, and the
+ * bitwise check re-runs every sequence alone with the same per-step
+ * placements.
  *
  * @param steps   per-step batch composition, execution order.
  * @param records per-request records of the same run (prompt/output
@@ -97,11 +117,9 @@ ReplayOutcome ReplayServingTrace(const std::vector<ReplayStep>& steps,
                                  const ReplayOptions& options = {});
 
 /**
- * Placement-aware replay: every step routes through `backend` with
- * per-member placements — prefill chunks on `placement.prefill`, each
- * decode member on its request's placement, so one batched decode step may
- * mix NPU-quantized and CPU-float sequences. The bitwise check re-runs
- * every sequence alone with the same per-step placements.
+ * Deprecated spelling of the placement-aware replay; thin wrapper that
+ * copies `placement` into ReplayOptions::placement. Prefer the single
+ * entry point above.
  */
 ReplayOutcome ReplayServingTrace(const std::vector<ReplayStep>& steps,
                                  const std::vector<RequestRecord>& records,

@@ -91,6 +91,23 @@ ServingSimulator::Run()
     ServingResult result;
     result.records.reserve(static_cast<size_t>(options_.num_requests));
 
+    // ---- Control plane. Null policy fields resolve to the legacy
+    // defaults here; a run with the defaults — explicit or null — is
+    // bit-identical to the pre-policy-object simulator. The cost model's
+    // default batch marginal is synced so off-profile pricing through the
+    // calibrated oracle uses the serving layer's configuration.
+    const std::shared_ptr<QueuePolicy> queue_policy =
+        options_.queue_policy ? options_.queue_policy
+                              : MakeQueuePolicy(options_.policy);
+    const std::shared_ptr<PlacementPolicy> placement_policy =
+        options_.placement_policy ? options_.placement_policy
+                                  : std::make_shared<StaticPlacement>();
+    const std::shared_ptr<AdmissionPolicy> admission_policy =
+        options_.admission_policy ? options_.admission_policy
+                                  : std::make_shared<ThresholdAdmission>();
+    const bool dynamic_placement = placement_policy->IsDynamic();
+    costs_.set_default_batch_marginal(options_.decode_batch_marginal);
+
     // ---- Fault plane. All injection is counter-based (a pure function of
     // the fault seed and the draw coordinates), so a rate-zero plane draws
     // nothing and every code path below degenerates bitwise to the
@@ -180,6 +197,16 @@ ServingSimulator::Run()
     double step_last_update = 0.0;
     double step_start = 0.0;
     int step_counter = 0;
+    // NPU dispatch attempts so far (chunk dispatches + NPU-placed decode
+    // dispatches), denominator of the live fault-rate policy signal.
+    int64_t npu_attempts = 0;
+    // The in-flight chunk profile's two interference factors, kept
+    // separately for dynamic placement: the policy can put the active step
+    // on either side regardless of where the profile placed decode, and
+    // the chunk steals bandwidth from whichever side is actually decoding.
+    double chunk_float_interference = 0.0;
+    double chunk_npu_interference = 0.0;
+    bool step_on_npu = false;  // any member of the active step NPU-placed
 
     // Per-request fault-defense state, indexed by request id.
     std::vector<int> decode_attempt;  // retries of the *current* token
@@ -187,7 +214,12 @@ ServingSimulator::Run()
     std::vector<double> decode_ready;  // decode backoff gate
 
     auto decode_rate = [&]() {
-        return npu_busy ? std::max(0.05, 1.0 - npu_interference) : 1.0;
+        double interference = npu_interference;
+        if (dynamic_placement && step_active) {
+            interference = step_on_npu ? chunk_npu_interference
+                                       : chunk_float_interference;
+        }
+        return npu_busy ? std::max(0.05, 1.0 - interference) : 1.0;
     };
 
     // ---- KV page accounting. Usage (held pages per request, peak, time
@@ -257,6 +289,27 @@ ServingSimulator::Run()
         }
     };
 
+    // Live degradation + load signals for policy decisions. This is the
+    // PR-8 fault plane feeding the control plane: thermal state, the
+    // observed fault rate and lost NPU time, plus current load.
+    auto make_signals = [&]() {
+        PolicySignals signals;
+        signals.now_ms = now;
+        signals.npu_service_scale =
+            fopts.thermal.enabled ? thermal.ServiceScale() : 1.0;
+        signals.npu_throttled =
+            fopts.thermal.enabled && thermal.Throttled();
+        signals.npu_temp_c = thermal.temperature_c();
+        signals.npu_fault_rate =
+            npu_attempts > 0 ? static_cast<double>(result.faults) /
+                                   static_cast<double>(npu_attempts)
+                             : 0.0;
+        signals.npu_faulted_ms = result.npu_faulted_ms;
+        signals.decode_pool_depth = static_cast<int>(decode_pool.size());
+        signals.kv_free_pages = kv_bounded ? kv_free : 0;
+        return signals;
+    };
+
     auto admit = [&](const ArrivalEvent& event) {
         RequestRecord record;
         record.request.id = static_cast<int>(result.records.size());
@@ -264,20 +317,34 @@ ServingSimulator::Run()
         record.request.prompt_len = event.request.prompt_len;
         record.request.output_len = event.request.output_len;
         record.request.profile_index = event.profile_index;
+        const double isolated_e2e = costs_.IsolatedE2eMs(event.request);
         if (options_.slo_factor > 0.0) {
             record.request.deadline_ms =
-                event.arrival_ms +
-                options_.slo_factor * costs_.IsolatedE2eMs(event.request);
+                event.arrival_ms + options_.slo_factor * isolated_e2e;
         }
-        // Admission control: a request whose *whole* KV demand (prompt
-        // plus every output token) exceeds the pool budget can never run
-        // to completion — reject it at the door rather than let it starve
-        // or thrash the pool. Requests that merely don't fit right now are
-        // not rejected; they queue and wait for pages.
+        // Admission control. Every conforming policy refuses a request
+        // whose *whole* KV demand (prompt plus every output token) exceeds
+        // the pool budget — it could never run to completion, only starve
+        // or thrash the pool. Predictive policies additionally turn away
+        // arrivals whose predicted finish already misses their deadline.
+        // Requests that merely don't fit right now are not rejected; they
+        // queue and wait for pages.
         const int64_t demand =
             pages_for(static_cast<int64_t>(record.request.prompt_len) +
                       record.request.output_len);
-        if (kv_bounded && demand > live_budget) {
+        AdmissionQuery admission;
+        admission.request = &record.request;
+        admission.isolated_e2e_ms = isolated_e2e;
+        admission.queued_prefill_ms = npu_busy ? npu_end - now : 0.0;
+        for (const PendingPrefill& pending : prefill_queue) {
+            admission.queued_prefill_ms += pending.RemainingMs();
+        }
+        admission.queue_depth = static_cast<int>(prefill_queue.size());
+        admission.kv_demand_pages = demand;
+        admission.kv_live_budget = kv_bounded ? live_budget : 0;
+        admission.decode_batch_marginal = options_.decode_batch_marginal;
+        admission.signals = make_signals();
+        if (!admission_policy->Admit(admission)) {
             record.rejected = true;
             result.records.push_back(record);
             kv_held.push_back(0);
@@ -371,8 +438,7 @@ ServingSimulator::Run()
             eligible.push_back(qi);
         }
         if (entries.empty()) return;  // backpressured: NPU idles for pages
-        const size_t pick =
-            eligible[PickNext(options_.policy, entries, now)];
+        const size_t pick = eligible[queue_policy->Pick(entries, now)];
         npu_job = prefill_queue[pick];
         prefill_queue.erase(prefill_queue.begin() +
                             static_cast<long>(pick));
@@ -406,11 +472,17 @@ ServingSimulator::Run()
             duration *= fopts.timeout_factor;
         }
         npu_busy = true;
+        ++npu_attempts;
         npu_start = now;
         npu_end = now + duration;
         // The factor matching where this run's decode lives: the float
         // processor the chunk's float stages hold, or the NPU itself.
+        // Dynamic placement keeps both factors at hand — the active step
+        // may sit on either side of the profile's own placement.
         npu_interference = npu_job.profile->DecodeInterference();
+        chunk_float_interference =
+            npu_job.profile->float_decode_interference;
+        chunk_npu_interference = npu_job.profile->npu_decode_interference;
         if (npu_fate == FaultPlane::ChunkFate::kOk) {
             result.npu_busy_ms += duration;
         } else {
@@ -439,6 +511,13 @@ ServingSimulator::Run()
         std::vector<int> to_shed;
         double token_ms = 0.0;
         double engine_marginal = -1.0;
+        // Placement decisions see the depth this step would run at and one
+        // signal snapshot per step boundary (not per member), so every
+        // decision is a pure function of the boundary's state and the
+        // recorded placements replay bitwise.
+        const int step_depth = std::min(
+            options_.max_decode_batch, static_cast<int>(decode_pool.size()));
+        const PolicySignals step_signals = make_signals();
         for (size_t pi = 0;
              pi < decode_pool.size() &&
              static_cast<int>(step_members.size()) <
@@ -449,9 +528,16 @@ ServingSimulator::Run()
                 result.records[static_cast<size_t>(id)];
             const ServingCostProfile& profile =
                 costs_.Costs(record.request.AsInference());
-            DecodePlacement place = record.failed_over
-                                        ? DecodePlacement::kCpuFloat
-                                        : profile.decode_placement;
+            PlacementQuery query;
+            query.record = &record;
+            query.profile = &profile;
+            query.context_len =
+                static_cast<int64_t>(record.request.prompt_len) +
+                record.tokens_out;
+            query.batch_depth = step_depth;
+            query.default_batch_marginal = options_.decode_batch_marginal;
+            query.signals = step_signals;
+            DecodePlacement place = placement_policy->Place(query);
             if (inject_on) {
                 // Backoff gate after a faulted dispatch.
                 if (decode_ready[static_cast<size_t>(id)] > now) continue;
@@ -463,6 +549,7 @@ ServingSimulator::Run()
                     // step out (replay membership stays exactly what was
                     // executed) and either fails over, retries after
                     // backoff, or — retry budget gone — is shed.
+                    ++npu_attempts;  // tried and lost
                     ++record.faults;
                     ++result.faults;
                     fault_counter.Add(1);
@@ -510,6 +597,27 @@ ServingSimulator::Run()
                             ? profile.cpu_decode_token_ms
                             : profile.decode_token_ms;
                 member_marginal = options_.decode_batch_marginal;
+            } else if (place != profile.decode_placement) {
+                // Off-profile member: a dynamic policy disagreed with the
+                // engine profile. Policies *decide* with whatever oracle
+                // they hold, but the simulator *prices* executed work
+                // through the calibrated one, so virtual time stays in the
+                // calibrated plane regardless of what the policy believes.
+                if (place == DecodePlacement::kCpuFloat) {
+                    price = profile.cpu_decode_token_ms > 0.0
+                                ? profile.cpu_decode_token_ms
+                                : profile.decode_token_ms;
+                    member_marginal = options_.decode_batch_marginal;
+                } else {
+                    const double one = costs_.StepMs(
+                        DecodePlacement::kNpuQuant, query.context_len, 1);
+                    const double two = costs_.StepMs(
+                        DecodePlacement::kNpuQuant, query.context_len, 2);
+                    price = one;
+                    member_marginal =
+                        one > 0.0 ? std::max(0.0, two / one - 1.0)
+                                  : options_.decode_batch_marginal;
+                }
             }
             if (fopts.thermal.enabled &&
                 place == DecodePlacement::kNpuQuant) {
@@ -531,6 +639,13 @@ ServingSimulator::Run()
             shed_request(id, "decode_retry_budget");
         }
         if (step_members.empty()) return;  // everyone backing off or shed
+        step_on_npu = false;
+        for (DecodePlacement member_place : step_placements) {
+            if (member_place == DecodePlacement::kNpuQuant) {
+                step_on_npu = true;
+                ++npu_attempts;
+            }
+        }
         const double marginal = engine_marginal >= 0.0
                                     ? engine_marginal
                                     : options_.decode_batch_marginal;
@@ -924,7 +1039,9 @@ ServingSimulator::Run()
                 ReplayStep rstep;
                 rstep.is_prefill = false;
                 rstep.request_ids = step_members;
-                if (inject_on) rstep.placements = step_placements;
+                if (inject_on || dynamic_placement) {
+                    rstep.placements = step_placements;
+                }
                 result.replay_steps.push_back(std::move(rstep));
             }
             ++step_counter;

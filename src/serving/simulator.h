@@ -21,6 +21,7 @@
 #define LLMNPU_SERVING_SIMULATOR_H
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/model/placement.h"
@@ -36,7 +37,28 @@ namespace llmnpu {
 
 /** Serving simulation parameters. */
 struct ServingOptions {
+    /** Deprecated spelling: prefer `queue_policy`. Kept source-compatible;
+     *  when queue_policy is null the simulator constructs the matching
+     *  SchedQueuePolicy from this enum at Run() start. */
     SchedPolicy policy = SchedPolicy::kFcfs;
+
+    /**
+     * The pluggable control plane (src/serving/policy.h). Null fields
+     * fall back to the legacy defaults above/below at Run() start:
+     * SchedQueuePolicy(policy), StaticPlacement (follow the engine
+     * profile), ThresholdAdmission (whole-demand KV check). A run with
+     * the defaults — explicit or null — is bit-identical to the
+     * pre-policy-object simulator.
+     *
+     * A dynamic placement policy (PlacementPolicy::IsDynamic()) is
+     * consulted per decode-pool member at every step boundary with the
+     * live degradation signals; off-profile members are priced through
+     * the calibrated StepCostOracle and the executed placements are
+     * recorded on ReplayStep::placements for bitwise replay.
+     */
+    std::shared_ptr<QueuePolicy> queue_policy;
+    std::shared_ptr<PlacementPolicy> placement_policy;
+    std::shared_ptr<AdmissionPolicy> admission_policy;
 
     /** false: open-loop Poisson at rate_rps; true: closed loop of
      *  num_clients clients with think_time_ms between requests. */
@@ -115,10 +137,12 @@ struct ReplayStep {
     /** Prefill only: total chunks of the request. */
     int num_chunks = 0;
     /** Decode only: executed placement per member, parallel to
-     *  request_ids. Filled only by fault-plane runs, where the circuit
-     *  breaker can fail a request's decode NPU->CPU mid-stream; the replay
-     *  bridge prefers these over its static per-request placement so the
-     *  failover schedule replays bitwise. Empty = caller decides (legacy). */
+     *  request_ids. Filled by fault-plane runs (the circuit breaker can
+     *  fail a request's decode NPU->CPU mid-stream) and by dynamic
+     *  placement policies (mid-run CPU/NPU flips at step boundaries); the
+     *  replay bridge prefers these over its static per-request placement
+     *  so both kinds of schedule replay bitwise. Empty = caller decides
+     *  (legacy). */
     std::vector<DecodePlacement> placements;
 };
 
