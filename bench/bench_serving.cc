@@ -497,6 +497,85 @@ Run(const char* trace_path, uint64_t seed)
         kv_table.Print();
     }
 
+    // Shared-system-prompt capacity sweep: share fraction x pool budget.
+    // One 256-token system prompt (16 pages) is carried by a growing
+    // fraction of arrivals; its KV pages are charged once across all
+    // referencing requests and sharers prefill only their private suffix.
+    // Under overload with queue expiry, the once-counted prefix converts
+    // directly into concurrency — requests served per page of budget
+    // (served_per_100_pages) must rise with the share fraction at every
+    // pool size, the capacity-win curve CI band-checks. The fraction axis
+    // is pinned across smoke/full (the share draws nest at a fixed seed,
+    // so runs compare like against like); smoke trims only the pool list.
+    {
+        const DatasetProfile shared_mix{"shared-prompt", "assistant apps",
+                                        320, 448, 24, 48};
+        const double isolated_ms =
+            costs.IsolatedE2eMs(shared_mix.Typical());
+        const double shared_capacity_rps = 1e3 / isolated_ms;
+        const int prefix_len = 256;  // 16 pages at 16 positions/page
+        const std::vector<int64_t> shared_pools =
+            smoke ? std::vector<int64_t>{64}
+                  : std::vector<int64_t>{48, 64, 96};
+        const std::vector<double> fractions{0.0, 0.25, 0.5, 0.75, 1.0};
+        std::printf("\nShared system prompt: capacity vs share fraction "
+                    "(fcfs, %d-token prefix, overload 3.0x, queue "
+                    "expiry on):\n",
+                    prefix_len);
+        Table shared_table({"pool", "share", "admitted", "completed",
+                            "shed", "evict", "peak", "served/100pg"});
+        for (int64_t pool : shared_pools) {
+            for (double fraction : fractions) {
+                ServingOptions options;
+                options.policy = SchedPolicy::kFcfs;
+                options.rate_rps = 3.0 * shared_capacity_rps;
+                options.num_requests = 48;  // pinned across smoke/full
+                options.seed = seed;
+                options.kv_pool_pages = pool;
+                options.kv_page_size = 16;
+                options.shared_prefix.prefix_len = prefix_len;
+                options.shared_prefix.share_fraction = fraction;
+                options.shed_expired_queued = true;
+                ServingSimulator sim(costs, {shared_mix}, options);
+                const ServingResult result = sim.Run();
+                const ServingReport report = result.Report();
+                const double served_per_100 =
+                    100.0 * report.completed / static_cast<double>(pool);
+                shared_table.AddRow(
+                    {StrFormat("%lld", static_cast<long long>(pool)),
+                     StrFormat("%.2f", fraction),
+                     StrFormat("%d", report.admitted),
+                     StrFormat("%d", report.completed),
+                     StrFormat("%d", report.shed),
+                     StrFormat("%d", report.evictions),
+                     StrFormat("%lld", static_cast<long long>(
+                                           result.kv_pages_peak)),
+                     StrFormat("%.1f", served_per_100)});
+                std::printf(
+                    "METRIC {\"bench\": \"serving\", "
+                    "\"mode\": \"shared_prefix\", "
+                    "\"kv_pool_pages\": %lld, \"kv_page_size\": 16, "
+                    "\"prefix_len\": %d, \"share_fraction\": %.2f, "
+                    "\"load_rps\": %.3f, \"admitted\": %d, "
+                    "\"completed\": %d, \"shed\": %d, \"rejected\": %d, "
+                    "\"evictions\": %d, \"shared_requests\": %d, "
+                    "\"prefix_materializations\": %d, "
+                    "\"prefix_drops\": %d, \"kv_pages_peak\": %lld, "
+                    "\"kv_pages_mean\": %.3f, "
+                    "\"served_per_100_pages\": %.3f}\n",
+                    static_cast<long long>(pool), prefix_len, fraction,
+                    options.rate_rps, report.admitted, report.completed,
+                    report.shed, report.rejected, report.evictions,
+                    result.shared_requests,
+                    result.shared_prefix_materializations,
+                    result.shared_prefix_drops,
+                    static_cast<long long>(result.kv_pages_peak),
+                    result.kv_pages_mean, served_per_100);
+            }
+        }
+        shared_table.Print();
+    }
+
     // Closed loop: a fixed population of chatty clients (think time 500ms),
     // the latency-vs-concurrency view of the same machine.
     std::printf("\nClosed loop (%d clients, 500 ms think time):\n",

@@ -196,6 +196,82 @@ function(collect_paged_kv_metrics json_path out_var)
   set(${out_var} "${pairs}" PARENT_SCOPE)
 endfunction()
 
+# Collects "shared_prefix|<pool>|<fraction>=served_per_100_pages" pairs
+# for the bench_serving shared-system-prompt sweep of one results file,
+# checking two hard invariants on the way (no baseline needed — these hold
+# for any parameters or the sharing plane is broken):
+#  - pool-budget: kv_pages_peak never exceeds kv_pool_pages at any share
+#    fraction — once-counted admission must not over-admit;
+#  - capacity win: within each pool, served_per_100_pages is non-decreasing
+#    as the share fraction rises (rows are emitted in ascending-fraction
+#    order) and the max-fraction value strictly beats the fraction-0 value.
+# The per-(pool, fraction) values are deterministic simulator output and
+# are additionally band-checked against the committed baseline with
+# DECODE_BAND.
+function(collect_shared_prefix_metrics json_path out_var)
+  file(READ ${json_path} content)
+  string(JSON num_benches LENGTH ${content} "benches")
+  set(pairs "")
+  set(pools "")
+  math(EXPR last_bench "${num_benches} - 1")
+  foreach(b RANGE ${last_bench})
+    string(JSON bench_name GET ${content} "benches" ${b} "name")
+    if(NOT bench_name STREQUAL "bench_serving")
+      continue()
+    endif()
+    string(JSON num_metrics ERROR_VARIABLE err
+           LENGTH ${content} "benches" ${b} "metrics")
+    if(err OR num_metrics EQUAL 0)
+      continue()
+    endif()
+    math(EXPR last_metric "${num_metrics} - 1")
+    foreach(i RANGE ${last_metric})
+      set(prefix "benches" ${b} "metrics" ${i})
+      string(JSON mode ERROR_VARIABLE err GET ${content} ${prefix} "mode")
+      if(err OR NOT mode STREQUAL "shared_prefix")
+        continue()
+      endif()
+      string(JSON pool GET ${content} ${prefix} "kv_pool_pages")
+      string(JSON fraction GET ${content} ${prefix} "share_fraction")
+      string(JSON peak GET ${content} ${prefix} "kv_pages_peak")
+      string(JSON served GET ${content} ${prefix} "served_per_100_pages")
+      if(peak GREATER pool)
+        message(FATAL_ERROR
+          "check_bench_metrics: ${json_path}: shared_prefix pool=${pool} "
+          "fraction=${fraction} has kv_pages_peak=${peak} above the pool "
+          "budget — once-counted admission over-admitted")
+      endif()
+      to_milli(${served} served_milli)
+      if(NOT pool IN_LIST pools)
+        list(APPEND pools "${pool}")
+        set(first_${pool} "${served_milli}")
+      elseif(served_milli LESS prev_${pool})
+        message(FATAL_ERROR
+          "check_bench_metrics: ${json_path}: shared_prefix pool=${pool} "
+          "served_per_100_pages dropped to ${served} at fraction="
+          "${fraction} — the capacity win must be monotone in the share "
+          "fraction")
+      endif()
+      set(prev_${pool} "${served_milli}")
+      list(APPEND pairs "shared_prefix|${pool}|${fraction}=${served}")
+    endforeach()
+  endforeach()
+  if(pairs STREQUAL "")
+    message(FATAL_ERROR
+      "check_bench_metrics: ${json_path} has no shared_prefix sweep rows — "
+      "the bench_serving shared-prompt METRIC output regressed")
+  endif()
+  foreach(pool IN LISTS pools)
+    if(NOT prev_${pool} GREATER first_${pool})
+      message(FATAL_ERROR
+        "check_bench_metrics: ${json_path}: shared_prefix pool=${pool} "
+        "served no more requests at the max share fraction than with "
+        "sharing off — the once-counted prefix produced no capacity win")
+    endif()
+  endforeach()
+  set(${out_var} "${pairs}" PARENT_SCOPE)
+endfunction()
+
 # Collects "faults|<rate>|<failover>=goodput_rps" pairs for the
 # bench_serving degraded-mode sweep of one results file. Only the
 # fault-rate-0 rows are collected for band checking: they are bit-identical
@@ -595,6 +671,12 @@ band_check_pairs("${fresh_paged}" "${base_paged}" "kv-pages-mean"
 
 set(paged_matched ${band_matched})
 
+collect_shared_prefix_metrics(${RESULTS} fresh_shared)
+collect_shared_prefix_metrics(${BASELINE} base_shared)
+band_check_pairs("${fresh_shared}" "${base_shared}" "served-per-100-pages"
+                 ${DECODE_BAND})
+set(shared_matched ${band_matched})
+
 collect_fault_metrics(${RESULTS} fresh_faults)
 collect_fault_metrics(${BASELINE} base_faults)
 band_check_pairs("${fresh_faults}" "${base_faults}" "fault-free-goodput"
@@ -611,7 +693,8 @@ check_predict_metrics(${RESULTS} ${PREDICT_BAND})
 message(STATUS
   "check_bench_metrics: ${kernel_matched} kernel rows within ${BAND}x, "
   "${decode_matched} decode-placement rows, ${paged_matched} paged-KV "
-  "occupancy rows, and ${band_matched} zero-fault goodput rows within "
+  "occupancy rows, ${shared_matched} shared-prefix capacity rows, and "
+  "${band_matched} zero-fault goodput rows within "
   "${DECODE_BAND}x of the committed baseline; ${shrink_checked} "
   "pool-shrink row(s) inside the live budget; ${obs_checked} "
   "tracer-overhead rows within the absolute ${OBS_BAND}x band; "

@@ -49,7 +49,6 @@ BatchedKvCache::AddSequenceSharingPrefix(int src, int64_t positions)
     {
         const SeqState& source = CheckedSeq(src);
         LLMNPU_CHECK_GE(positions, 0);
-        LLMNPU_CHECK_EQ(positions % page_size(), 0);
         for (int64_t len : source.layer_len) LLMNPU_CHECK_LE(positions, len);
     }
     // AddSequence() grows seqs_ and may reallocate it — re-acquire the
@@ -57,7 +56,9 @@ BatchedKvCache::AddSequenceSharingPrefix(int src, int64_t positions)
     const int seq = AddSequence();
     const SeqState& source = seqs_[static_cast<size_t>(src)];
     SeqState& state = seqs_[static_cast<size_t>(seq)];
-    const int64_t shared_pages = positions / page_size();
+    // A non-aligned fork shares the partial frontier page too; the first
+    // write past `positions` (by either sibling) copy-on-writes it.
+    const int64_t shared_pages = pool_.PagesFor(positions);
     state.pages.assign(source.pages.begin(),
                        source.pages.begin() + shared_pages);
     for (int64_t page : state.pages) pool_.AddRef(page);
@@ -90,9 +91,19 @@ BatchedKvCache::CanAppend(int seq, int64_t positions) const
 {
     const SeqState& state = CheckedSeq(seq);
     LLMNPU_CHECK_GE(positions, 0);
+    const int64_t free = pool_.free_pages();
+    if (free == kUnboundedFreePages) return true;
     const int64_t mapped = static_cast<int64_t>(state.pages.size());
-    const int64_t needed = pool_.PagesFor(state.layer_len[0] + positions);
-    return needed - mapped <= pool_.free_pages();
+    const int64_t len = state.layer_len[0];
+    const int64_t needed = pool_.PagesFor(len + positions);
+    // Mapped pages in the write range that a sibling still references each
+    // cost one extra page: the append copy-on-writes them, and the sibling
+    // keeps the original alive.
+    int64_t cow = 0;
+    for (int64_t p = len / page_size(); p < std::min(mapped, needed); ++p) {
+        if (pool_.RefCount(state.pages[static_cast<size_t>(p)]) > 1) ++cow;
+    }
+    return needed - mapped + cow <= free;
 }
 
 void
@@ -132,10 +143,20 @@ BatchedKvCache::AppendRows(int seq, int layer, const Tensor& k,
         const int64_t page_idx = pos / ps;
         const int64_t slot = pos % ps;
         const int64_t run = std::min(row_count - copied, ps - slot);
-        const int64_t page = state.pages[static_cast<size_t>(page_idx)];
-        // A written page is never shared: prefixes share only whole pages
-        // below the sequence length, and writes happen at positions >= it.
-        LLMNPU_CHECK_EQ(pool_.RefCount(page), 1);
+        int64_t page = state.pages[static_cast<size_t>(page_idx)];
+        // Copy-on-write: a page a sibling still references must not see
+        // this sequence's divergence. Clone it (whole buffer, all layers —
+        // later layers of this step and the shared rows both live there),
+        // repoint only this page table, release one reference. Only the
+        // append frontier of a fork can be shared, so at most one clone
+        // per layer-0 append; later layers of the step land on the copy.
+        if (pool_.RefCount(page) > 1) {
+            const int64_t clone = pool_.ClonePage(page);
+            LLMNPU_CHECK_GE(clone, 0);  // callers gate on CanAppend
+            pool_.Release(page);
+            state.pages[static_cast<size_t>(page_idx)] = clone;
+            page = clone;
+        }
         std::memcpy(pool_.PageK(page, layer) + slot * kv_dim_,
                     pk + copied * kv_dim_,
                     static_cast<size_t>(run * kv_dim_) * sizeof(float));

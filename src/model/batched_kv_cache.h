@@ -12,10 +12,13 @@
  *    free list feeds the next admission),
  *  - a bounded pool turns KV memory into the admission-control resource
  *    the serving simulator models (CanAppend is the backpressure signal),
- *  - sequences can share full pages of a common prompt prefix (refcounted;
- *    safe without copy-on-write because appends only ever write at
- *    positions >= the sequence length, and shared prefixes are whole
- *    pages), and
+ *  - sequences can share the pages of a common prompt prefix (refcounted),
+ *    with copy-on-write isolation: appending into a page another sequence
+ *    still references clones the page, rewrites only the appender's page
+ *    table entry, and releases one reference — so forks may start at any
+ *    position (the partial frontier page is shared until the first
+ *    divergent write) and diverge bitwise-identically to sequences that
+ *    never shared, and
  *  - the fused attention kernel (src/model/paged_attention.h) reads K/V
  *    straight out of the pages, eliminating the per-sequence dense
  *    materialization and segment copies of the old decode hot path.
@@ -60,10 +63,13 @@ class BatchedKvCache
 
     /**
      * Adds a sequence sharing the first `positions` positions of `src`'s
-     * pages (a common system-prompt run). `positions` must be a multiple
-     * of the page size (only whole pages are shared) and <= SeqLen(src).
-     * The caller asserts the shared positions hold identical tokens; the
-     * cache only shares the storage. @return the new slot's index.
+     * pages (a common system-prompt run). `positions` may fall anywhere
+     * <= SeqLen(src): whole pages below it are shared outright, and a
+     * partial frontier page is shared too — the first write past the fork
+     * point (by either side) copy-on-writes it, so divergence never leaks
+     * between siblings. The caller asserts the shared positions hold
+     * identical tokens; the cache only shares the storage.
+     * @return the new slot's index.
      */
     int AddSequenceSharingPrefix(int src, int64_t positions);
 
@@ -75,18 +81,22 @@ class BatchedKvCache
     bool IsRetired(int seq) const;
 
     /** True when the pool can absorb `positions` more positions appended
-     *  to `seq` (the admission / eviction backpressure signal). Always
-     *  true for an unbounded pool. */
+     *  to `seq` — growth pages plus one copy-on-write clone for each
+     *  still-shared page the write range touches (the admission / eviction
+     *  backpressure signal). Always true for an unbounded pool. */
     bool CanAppend(int seq, int64_t positions) const;
 
     /**
      * Appends rows [row_begin, row_begin + row_count) of `k`/`v`
      * ([* x kv_dim]) for one layer of one sequence, straight from a
-     * stacked batch tensor into the pages — no segment copy. Enforces the
-     * layer-lockstep invariant: layer 0 of a step appends first, no layer
-     * may lead the shortest layer by more than the in-flight chunk, and a
-     * layer > 0 never leads layer 0. Panics if a bounded pool runs out of
-     * pages — callers gate on CanAppend.
+     * stacked batch tensor into the pages — no segment copy. A target page
+     * still referenced by a sibling (shared prefix frontier) is cloned
+     * first: only this sequence's page table moves to the copy, and one
+     * reference on the original is released. Enforces the layer-lockstep
+     * invariant: layer 0 of a step appends first, no layer may lead the
+     * shortest layer by more than the in-flight chunk, and a layer > 0
+     * never leads layer 0. Panics if a bounded pool runs out of pages —
+     * callers gate on CanAppend.
      */
     void AppendRows(int seq, int layer, const Tensor& k, const Tensor& v,
                     int64_t row_begin, int64_t row_count);

@@ -17,6 +17,8 @@ struct KvPoolMetrics
         obs::MetricsRegistry::Global().GetCounter("kv_pool.alloc_fail");
     obs::Counter& release =
         obs::MetricsRegistry::Global().GetCounter("kv_pool.release");
+    obs::Counter& cow_clone =
+        obs::MetricsRegistry::Global().GetCounter("kv_pool.cow_clone");
     obs::Gauge& used =
         obs::MetricsRegistry::Global().GetGauge("kv_pool.used_pages");
 };
@@ -62,11 +64,9 @@ KvPagePool::PagesFor(int64_t positions) const
 int64_t
 KvPagePool::free_pages() const
 {
-    int64_t free = static_cast<int64_t>(free_list_.size());
-    if (options_.max_pages > 0) {
-        free += options_.max_pages - allocated_pages();
-    }
-    return free;
+    if (options_.max_pages == 0) return kUnboundedFreePages;
+    return static_cast<int64_t>(free_list_.size()) + options_.max_pages -
+           allocated_pages();
 }
 
 int64_t
@@ -94,6 +94,24 @@ KvPagePool::AllocPage()
     LLMNPU_TRACE_COUNTER("kv_pool.used_pages",
                          static_cast<double>(used_pages_));
     return page;
+}
+
+int64_t
+KvPagePool::ClonePage(int64_t src)
+{
+    LLMNPU_CHECK_GE(src, 0);
+    LLMNPU_CHECK_LT(src, allocated_pages());
+    LLMNPU_CHECK_GT(refcount_[static_cast<size_t>(src)], 0);
+    const int64_t clone = AllocPage();
+    if (clone < 0) return -1;
+    // Whole-buffer copy: a CoW write targets one layer, but the sibling
+    // layers' shared rows live in the same physical page and the cloning
+    // sequence still needs them after its table points at the copy.
+    pages_[static_cast<size_t>(clone)] = pages_[static_cast<size_t>(src)];
+    ++cow_clones_;
+    PoolMetrics().cow_clone.Add(1);
+    LLMNPU_TRACE_INSTANT("kv_pool.cow_clone", "kv");
+    return clone;
 }
 
 void

@@ -21,11 +21,16 @@
 #define LLMNPU_MODEL_KV_PAGE_POOL_H
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "src/util/check.h"
 
 namespace llmnpu {
+
+/** free_pages() of an unbounded pool: headroom is limited by host memory,
+ *  not the pool, so consumers comparing demand against it always fit. */
+constexpr int64_t kUnboundedFreePages = std::numeric_limits<int64_t>::max();
 
 /** Geometry and budget of a paged KV allocation. */
 struct PagedKvOptions {
@@ -50,6 +55,14 @@ class KvPagePool
      * rejection or eviction, never into silent growth.
      */
     int64_t AllocPage();
+
+    /**
+     * Allocates a fresh page and copies `src`'s whole buffer (every layer,
+     * K and V) into it — the copy-on-write step of a shared-page write.
+     * `src` keeps its references; the clone comes back with refcount 1.
+     * @return the clone's page id, or -1 when a bounded pool is exhausted.
+     */
+    int64_t ClonePage(int64_t src);
 
     /** Adds a reference to a live page (prefix sharing). */
     void AddRef(int64_t page);
@@ -80,9 +93,14 @@ class KvPagePool
     int64_t used_pages() const { return used_pages_; }
 
     /** Pages available right now: the free list plus (for a bounded pool)
-     *  the unallocated remainder of the budget. Unbounded pools report the
-     *  free list only. */
+     *  the unallocated remainder of the budget. An unbounded pool grows on
+     *  demand, so it reports kUnboundedFreePages — reporting only the free
+     *  list would understate headroom to CanAppend/PolicySignals consumers
+     *  and spuriously backpressure an unlimited pool. */
     int64_t free_pages() const;
+
+    /** Copy-on-write clones performed over the pool's lifetime. */
+    int64_t cow_clones() const { return cow_clones_; }
 
     /** Physical pages ever allocated (the high-water mark). */
     int64_t allocated_pages() const
@@ -111,6 +129,7 @@ class KvPagePool
     std::vector<int64_t> refcount_;
     std::vector<int64_t> free_list_;  ///< LIFO recycle order
     int64_t used_pages_ = 0;
+    int64_t cow_clones_ = 0;
 };
 
 }  // namespace llmnpu

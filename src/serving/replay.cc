@@ -16,6 +16,13 @@ namespace {
 /** Per-request replay state: synthetic streams and collected outputs. */
 struct SeqState {
     int slot = -1;  ///< BatchedKvCache slot, -1 until first prefill chunk
+    /** Replayed shared-prefix length: > 0 means this sequence forks off
+     *  the prefix template instead of starting empty, and `prompt` holds
+     *  only the private suffix tokens (the serving plane prefills sharers
+     *  on the suffix alone). */
+    int prefix_len = 0;
+    /** Serving-trace prefix length — the template-group key. */
+    int prefix_key = 0;
     std::vector<int> prompt;
     std::vector<int> outputs;
     int chunks_done = 0;
@@ -82,16 +89,41 @@ ReplayTraceImpl(const std::vector<ReplayStep>& steps,
         LLMNPU_CHECK_EQ(step.request_ids.size(), 1u);
         num_chunks[step.request_ids.front()] = step.num_chunks;
     }
+    // Shared-prefix token streams are per *group*, not per request: every
+    // sharer of the same serving prefix length replays the same prefix
+    // tokens, computed once into a template sequence and forked from there.
+    std::map<int, std::vector<int>> prefix_tokens;  // serving len -> tokens
     for (const auto& [id, chunks] : num_chunks) {
         LLMNPU_CHECK_GE(id, 0);
         LLMNPU_CHECK_LT(static_cast<size_t>(id), records.size());
         const ServingRequest& request =
             records[static_cast<size_t>(id)].request;
         SeqState state;
+        // Sharers replay the private suffix as their prompt; the replayed
+        // prefix is the serving prefix clamped like any prompt would be.
+        const int served_prompt = request.shared_prefix_len > 0
+                                      ? request.PrivatePromptLen()
+                                      : request.prompt_len;
         const int prompt_len = std::max(
-            chunks, std::min(options.max_prompt_tokens, request.prompt_len));
+            chunks, std::min(options.max_prompt_tokens, served_prompt));
         const int output_len =
             std::min(options.max_output_tokens, request.output_len);
+        if (request.shared_prefix_len > 0) {
+            state.prefix_key = request.shared_prefix_len;
+            state.prefix_len = std::min(request.shared_prefix_len,
+                                        options.max_prompt_tokens);
+            auto [it, fresh] =
+                prefix_tokens.try_emplace(state.prefix_key);
+            if (fresh) {
+                Rng group_rng(options.seed ^
+                              (0xda3e39cb94b95bdbULL *
+                               static_cast<uint64_t>(state.prefix_key)));
+                for (int i = 0; i < state.prefix_len; ++i) {
+                    it->second.push_back(static_cast<int>(
+                        group_rng.Next() % static_cast<uint64_t>(vocab)));
+                }
+            }
+        }
         Rng rng(options.seed ^ (0x9e3779b97f4a7c15ULL *
                                 static_cast<uint64_t>(id + 1)));
         for (int i = 0; i < prompt_len; ++i) {
@@ -108,6 +140,24 @@ ReplayTraceImpl(const std::vector<ReplayStep>& steps,
 
     // ---- Batched replay: execute each step through ForwardBatch.
     BatchedKvCache cache = model.MakeBatchedCache();
+    // Prefix templates, materialized lazily at the first fork: the group's
+    // prefix tokens run once through ForwardBatch (rows discarded — the
+    // prefix KV is the asset, matching the serving plane's shared-cache
+    // pricing), then every sharer forks the template's pages. The template
+    // is never retired, so eviction re-forks land on the same pages.
+    std::map<int, int> template_slots;  // serving prefix len -> slot
+    auto ensure_template = [&](int prefix_key) -> int {
+        auto it = template_slots.find(prefix_key);
+        if (it != template_slots.end()) return it->second;
+        const int slot = cache.AddSequence();
+        if (placement != nullptr) {
+            backend->SetStepPlacements({placement->prefill});
+        }
+        (void)model.ForwardBatch({{slot, prefix_tokens.at(prefix_key)}},
+                                 cache, linears);
+        template_slots.emplace(prefix_key, slot);
+        return slot;
+    };
     for (const ReplayStep& step : steps) {
         std::vector<BatchSeq> batch;
         std::vector<int> member_ids;
@@ -132,7 +182,14 @@ ReplayTraceImpl(const std::vector<ReplayStep>& steps,
                 state.logit_rows.clear();
             }
             if (state.slot < 0) {
-                state.slot = cache.AddSequence();
+                if (state.prefix_len > 0) {
+                    const int tmpl = ensure_template(state.prefix_key);
+                    state.slot = cache.AddSequenceSharingPrefix(
+                        tmpl, state.prefix_len);
+                    ++outcome.shared_prefix_forks;
+                } else {
+                    state.slot = cache.AddSequence();
+                }
                 // The join key between the serving plane (request ids) and
                 // the numeric plane (cache slots): args carry both.
                 LLMNPU_TRACE_INSTANT_ID("replay.seq_map", "replay", id,
@@ -223,6 +280,8 @@ ReplayTraceImpl(const std::vector<ReplayStep>& steps,
         }
     }
 
+    outcome.cow_page_clones = cache.pool().cow_clones();
+
     if (!options.check_bitwise) return outcome;
 
     // ---- Reference: every sequence alone, same per-step token groups, the
@@ -232,6 +291,18 @@ ReplayTraceImpl(const std::vector<ReplayStep>& steps,
         if (state.slot < 0) continue;  // never dispatched in the trace
         KvCache solo = model.MakeCache();
         std::vector<float> hidden_rows, logit_rows;
+        if (state.prefix_len > 0) {
+            // The sharer's solo reference owns no template: it prefills
+            // the group's prefix tokens itself (rows discarded, like the
+            // template materialization) and then runs the suffix chunks
+            // over that KV — bitwise-identical state to attending over
+            // the shared pages.
+            if (placement != nullptr) {
+                backend->SetUniformPlacement(placement->prefill);
+            }
+            (void)model.Forward(prefix_tokens.at(state.prefix_key), solo,
+                                linears);
+        }
         for (int c = 0; c < state.chunks_done; ++c) {
             if (placement != nullptr) {
                 backend->SetUniformPlacement(placement->prefill);

@@ -89,6 +89,13 @@ struct ReplayOutcome {
     int64_t stacked_rows = 0;
     /** Decode-step memberships dropped by max_output_tokens. */
     int64_t truncated_memberships = 0;
+    /** Sequences forked off a shared-prefix template
+     *  (AddSequenceSharingPrefix), eviction re-forks included. */
+    int shared_prefix_forks = 0;
+    /** Copy-on-write page clones the replay cache performed — a fork whose
+     *  replayed prefix is not page-aligned clones its frontier page on the
+     *  first divergent write. */
+    int64_t cow_page_clones = 0;
     /** true when every sequence's hidden states and logits were bitwise
      *  identical to running it alone (always true when check_bitwise was
      *  off and no comparison ran). */

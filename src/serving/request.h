@@ -22,8 +22,25 @@ struct ServingRequest {
     int profile_index = 0;
     /** End-to-end SLO deadline (absolute ms); +inf when no SLO applies. */
     double deadline_ms = 1e300;
+    /** Leading prompt tokens that are the scenario's shared system prefix
+     *  (page-aligned; 0 = independent prompt). The prefix's KV is served
+     *  from the shared cache: its pages are charged once across all
+     *  referencing requests and only the private suffix is prefilled. */
+    int shared_prefix_len = 0;
+
+    /** Prompt tokens past the shared prefix — what this request actually
+     *  prefills and what its private KV pages must hold. */
+    int PrivatePromptLen() const { return prompt_len - shared_prefix_len; }
 
     InferenceRequest AsInference() const { return {prompt_len, output_len}; }
+
+    /** The computation the engine runs for this request: the private
+     *  suffix only (shared-prefix KV comes from the cache). Identical to
+     *  AsInference() for independent prompts. */
+    InferenceRequest ServedInference() const
+    {
+        return {PrivatePromptLen(), output_len};
+    }
 };
 
 /** Everything the simulator measured about one request. */

@@ -59,6 +59,14 @@ ServingOptions::Validate() const
     LLMNPU_FATAL_IF(shed_expired_queued && slo_factor <= 0.0,
                     "serving shed_expired_queued needs slo_factor > 0 "
                     "(no deadlines to expire otherwise)");
+    LLMNPU_FATAL_IF(shared_prefix.prefix_len < 0,
+                    "serving shared_prefix.prefix_len must be >= 0");
+    LLMNPU_FATAL_IF(shared_prefix.prefix_len % kv_page_size != 0,
+                    "serving shared_prefix.prefix_len must be page-aligned "
+                    "(whole shared pages are what admission counts once)");
+    LLMNPU_FATAL_IF(shared_prefix.share_fraction < 0.0 ||
+                        shared_prefix.share_fraction > 1.0,
+                    "serving shared_prefix.share_fraction must be in [0, 1]");
     faults.Validate();
 }
 
@@ -160,6 +168,7 @@ ServingSimulator::Run()
     // ---- Arrival stream. Open loop: the whole Poisson trace up front.
     // Closed loop: a sampler plus a list of scheduled client wake-ups.
     RequestSampler sampler(mix_, options_.seed);
+    sampler.SetSharedPrefix(options_.shared_prefix);
     std::vector<ArrivalEvent> open_arrivals;
     size_t next_open = 0;
     std::vector<double> client_wakeups;  // closed loop, unsorted
@@ -170,9 +179,9 @@ ServingSimulator::Run()
         for (int i = 0; i < first_wave; ++i) client_wakeups.push_back(0.0);
         issued = first_wave;
     } else {
-        open_arrivals =
-            GeneratePoissonArrivals(mix_, options_.rate_rps,
-                                    options_.num_requests, options_.seed);
+        open_arrivals = GeneratePoissonArrivals(
+            mix_, options_.rate_rps, options_.num_requests, options_.seed,
+            options_.shared_prefix);
         issued = options_.num_requests;
     }
 
@@ -244,6 +253,33 @@ ServingSimulator::Run()
     result.kv_pool_pages = options_.kv_pool_pages;
     result.kv_pool_pages_live = live_budget;
 
+    // ---- Shared system prefix (SharedPrefixOptions). The prefix's pages
+    // are a refcounted shared asset, never in any kv_held entry: they are
+    // charged to the pool once when the first referencing request takes
+    // its reservation and freed when the last referencer's pages drop —
+    // the serving mirror of KvPagePool refcounts. `kv_held` stays private
+    // suffix pages only, so nothing below double-counts a shared page.
+    const bool sharing_on = options_.shared_prefix.Enabled();
+    const int64_t prefix_pages =
+        sharing_on ? pages_for(options_.shared_prefix.prefix_len) : 0;
+    int prefix_holders = 0;  // requests whose reservation references it
+    std::vector<char> holds_prefix;  // indexed by request id
+    result.shared_prefix_pages = prefix_pages;
+    auto is_sharer = [&](int id) {
+        return result.records[static_cast<size_t>(id)]
+                   .request.shared_prefix_len > 0;
+    };
+    // Once-counted whole demand: private suffix + output growth, plus the
+    // prefix exactly once. Equals the legacy prompt+output arithmetic for
+    // independent requests (and for sharers too, since the prefix is
+    // page-aligned) — what it prevents is charging the prefix per sharer.
+    auto whole_demand_of = [&](const ServingRequest& request) {
+        return (request.shared_prefix_len > 0 ? prefix_pages : 0) +
+               pages_for(
+                   static_cast<int64_t>(request.PrivatePromptLen()) +
+                   request.output_len);
+    };
+
     auto kv_note_usage = [&]() {
         kv_gauge.Set(static_cast<double>(kv_used));
         if (shrink_fired) {
@@ -262,11 +298,38 @@ ServingSimulator::Run()
         kv_held[static_cast<size_t>(id)] += pages;
         kv_note_usage();
     };
+    // Takes one reference on the shared prefix for `id` (no-op for
+    // non-sharers); the first referencer materializes the prefix pages.
+    auto kv_acquire_prefix = [&](int id) {
+        if (!sharing_on || !is_sharer(id)) return;
+        char& holds = holds_prefix[static_cast<size_t>(id)];
+        if (holds) return;
+        holds = 1;
+        if (prefix_holders++ == 0) {
+            kv_free -= prefix_pages;
+            kv_used += prefix_pages;
+            ++result.shared_prefix_materializations;
+        }
+        result.shared_prefix_refs_peak =
+            std::max(result.shared_prefix_refs_peak, prefix_holders);
+        kv_note_usage();
+    };
     auto kv_drop_all = [&](int id) {
         int64_t& held = kv_held[static_cast<size_t>(id)];
         kv_free += held;
         kv_used -= held;
         held = 0;
+        // Release this request's prefix reference with its pages; the
+        // prefix itself is freed only when the last referencer goes — a
+        // victim's eviction never strands a sibling's shared pages.
+        if (sharing_on && holds_prefix[static_cast<size_t>(id)]) {
+            holds_prefix[static_cast<size_t>(id)] = 0;
+            if (--prefix_holders == 0) {
+                kv_free += prefix_pages;
+                kv_used -= prefix_pages;
+                ++result.shared_prefix_drops;
+            }
+        }
         kv_note_usage();
     };
 
@@ -317,21 +380,31 @@ ServingSimulator::Run()
         record.request.prompt_len = event.request.prompt_len;
         record.request.output_len = event.request.output_len;
         record.request.profile_index = event.profile_index;
-        const double isolated_e2e = costs_.IsolatedE2eMs(event.request);
+        record.request.shared_prefix_len = event.shared_prefix_len;
+        // Sharers are costed on what they actually compute: the private
+        // suffix (the shared prefix's KV is served from the cache, not
+        // re-prefilled). Their SLO baseline tightens accordingly.
+        const double isolated_e2e =
+            costs_.IsolatedE2eMs(record.request.ServedInference());
         if (options_.slo_factor > 0.0) {
             record.request.deadline_ms =
                 event.arrival_ms + options_.slo_factor * isolated_e2e;
         }
         // Admission control. Every conforming policy refuses a request
-        // whose *whole* KV demand (prompt plus every output token) exceeds
-        // the pool budget — it could never run to completion, only starve
-        // or thrash the pool. Predictive policies additionally turn away
-        // arrivals whose predicted finish already misses their deadline.
-        // Requests that merely don't fit right now are not rejected; they
-        // queue and wait for pages.
-        const int64_t demand =
-            pages_for(static_cast<int64_t>(record.request.prompt_len) +
-                      record.request.output_len);
+        // whose *whole* KV demand exceeds the pool budget — it could never
+        // run to completion, only starve or thrash the pool. Shared prefix
+        // pages count once across referencing sequences: a sharer's demand
+        // is its private suffix, plus the prefix only when no live
+        // referencer already holds it (the old per-request prompt+output
+        // arithmetic re-charged the prefix for every concurrent sharer).
+        // Predictive policies additionally turn away arrivals whose
+        // predicted finish already misses their deadline. Requests that
+        // merely don't fit right now are not rejected; they queue and wait
+        // for pages.
+        int64_t demand = whole_demand_of(record.request);
+        if (record.request.shared_prefix_len > 0 && prefix_holders > 0) {
+            demand -= prefix_pages;
+        }
         AdmissionQuery admission;
         admission.request = &record.request;
         admission.isolated_e2e_ms = isolated_e2e;
@@ -348,6 +421,7 @@ ServingSimulator::Run()
             record.rejected = true;
             result.records.push_back(record);
             kv_held.push_back(0);
+            holds_prefix.push_back(0);
             decode_attempt.push_back(0);
             consec_faults.push_back(0);
             decode_ready.push_back(0.0);
@@ -369,12 +443,14 @@ ServingSimulator::Run()
         }
         result.records.push_back(record);
         kv_held.push_back(0);
+        holds_prefix.push_back(0);
         decode_attempt.push_back(0);
         consec_faults.push_back(0);
         decode_ready.push_back(0.0);
+        if (record.request.shared_prefix_len > 0) ++result.shared_requests;
         PendingPrefill pending;
         pending.id = record.request.id;
-        pending.profile = &costs_.Costs(event.request);
+        pending.profile = &costs_.Costs(record.request.ServedInference());
         prefill_queue.push_back(pending);
         obs::SimEvent ev;
         ev.name = "sim.arrive";
@@ -415,15 +491,23 @@ ServingSimulator::Run()
             // Backoff gate: a chunk that faulted waits out its capped
             // exponential delay before redispatching.
             if (pending.ready_ms > now) continue;
-            // A first chunk reserves the whole prompt's pages up front;
-            // skip candidates the pool cannot hold right now (they stay
-            // queued until retirements or evictions free pages). Requests
-            // already holding their reservation — mid-prefill, or a
-            // faulted chunk 0 awaiting retry — stay eligible.
+            // A first chunk reserves its prompt's pages up front: the
+            // private suffix, plus the shared prefix only when no live
+            // referencer holds it yet (counted once — the dispatch-side
+            // half of the shared-page accounting). Skip candidates the
+            // pool cannot hold right now (they stay queued until
+            // retirements or evictions free pages). Requests already
+            // holding their reservation — mid-prefill, or a faulted
+            // chunk 0 awaiting retry — stay eligible.
             if (kv_bounded && pending.next_chunk == 0 &&
-                kv_held[static_cast<size_t>(pending.id)] == 0 &&
-                pages_for(record.request.prompt_len) > kv_free) {
-                continue;
+                kv_held[static_cast<size_t>(pending.id)] == 0) {
+                int64_t need =
+                    pages_for(record.request.PrivatePromptLen());
+                if (record.request.shared_prefix_len > 0 &&
+                    prefix_holders == 0) {
+                    need += prefix_pages;
+                }
+                if (need > kv_free) continue;
             }
             QueueEntry entry;
             entry.request_id = pending.id;
@@ -451,7 +535,9 @@ ServingSimulator::Run()
                 record.first_dispatch_ms = now;
             }
             if (kv_held[static_cast<size_t>(npu_job.id)] == 0) {
-                kv_take(npu_job.id, pages_for(record.request.prompt_len));
+                kv_acquire_prefix(npu_job.id);
+                kv_take(npu_job.id,
+                        pages_for(record.request.PrivatePromptLen()));
             }
         }
         double duration =
@@ -527,7 +613,7 @@ ServingSimulator::Run()
             RequestRecord& record =
                 result.records[static_cast<size_t>(id)];
             const ServingCostProfile& profile =
-                costs_.Costs(record.request.AsInference());
+                costs_.Costs(record.request.ServedInference());
             PlacementQuery query;
             query.record = &record;
             query.profile = &profile;
@@ -697,30 +783,49 @@ ServingSimulator::Run()
                                    grower) -
                          decode_pool.begin();
         }
-        for (size_t j = decode_pool.size();
-             j-- > 0 && static_cast<long>(j) > grower_pos;) {
-            const int victim = decode_pool[j];
-            decode_pool.erase(decode_pool.begin() + static_cast<long>(j));
-            requeue(victim);
-            PendingPrefill again;
-            again.id = victim;
-            again.profile =
-                &costs_.Costs(result.records[static_cast<size_t>(
-                    victim)].request.AsInference());
-            prefill_queue.push_back(again);
-            return true;
+        // Prefer dropping private suffix pages: within each tier, a victim
+        // whose eviction would take the shared prefix down with it (the
+        // last referencer) is passed over on the first sweep and picked
+        // only when that tier has nobody else — the prefix drops only when
+        // its last referencing sequence is the eviction choice. The tier
+        // *order* (younger-than-grower decode members, then queued
+        // reservations, then the in-flight chunk) is untouched; that order
+        // is what makes eviction terminate.
+        auto drops_prefix = [&](int id) {
+            return sharing_on && holds_prefix[static_cast<size_t>(id)] &&
+                   prefix_holders == 1;
+        };
+        for (int pass = 0; pass < (sharing_on ? 2 : 1); ++pass) {
+            for (size_t j = decode_pool.size();
+                 j-- > 0 && static_cast<long>(j) > grower_pos;) {
+                const int victim = decode_pool[j];
+                if (pass == 0 && drops_prefix(victim)) continue;
+                decode_pool.erase(decode_pool.begin() +
+                                  static_cast<long>(j));
+                requeue(victim);
+                PendingPrefill again;
+                again.id = victim;
+                again.profile =
+                    &costs_.Costs(result.records[static_cast<size_t>(
+                        victim)].request.ServedInference());
+                prefill_queue.push_back(again);
+                return true;
+            }
         }
-        for (size_t j = prefill_queue.size(); j-- > 0;) {
-            PendingPrefill& pending = prefill_queue[j];
-            // Queued entries holding a reservation (mid-prefill, or a
-            // faulted chunk 0 awaiting retry) are evictable; entries that
-            // never dispatched hold nothing.
-            if (kv_held[static_cast<size_t>(pending.id)] == 0) continue;
-            requeue(pending.id);
-            pending.next_chunk = 0;  // recompute from chunk 0
-            pending.attempt = 0;
-            pending.ready_ms = 0.0;
-            return true;
+        for (int pass = 0; pass < (sharing_on ? 2 : 1); ++pass) {
+            for (size_t j = prefill_queue.size(); j-- > 0;) {
+                PendingPrefill& pending = prefill_queue[j];
+                // Queued entries holding a reservation (mid-prefill, or a
+                // faulted chunk 0 awaiting retry) are evictable; entries
+                // that never dispatched hold nothing.
+                if (kv_held[static_cast<size_t>(pending.id)] == 0) continue;
+                if (pass == 0 && drops_prefix(pending.id)) continue;
+                requeue(pending.id);
+                pending.next_chunk = 0;  // recompute from chunk 0
+                pending.attempt = 0;
+                pending.ready_ms = 0.0;
+                return true;
+            }
         }
         if (npu_busy && npu_job.id != grower) {
             // Cancel the in-flight chunk. Its partial execution is
@@ -760,10 +865,8 @@ ServingSimulator::Run()
                     StrFormat("\"live_pages\": %lld",
                               static_cast<long long>(live_budget)));
         auto demand_of = [&](int id) {
-            const ServingRequest& request =
-                result.records[static_cast<size_t>(id)].request;
-            return pages_for(static_cast<int64_t>(request.prompt_len) +
-                             request.output_len);
+            return whole_demand_of(
+                result.records[static_cast<size_t>(id)].request);
         };
         for (size_t j = prefill_queue.size(); j-- > 0;) {
             const int id = prefill_queue[j].id;
@@ -840,6 +943,28 @@ ServingSimulator::Run()
                                     static_cast<long>(j));
                 shed_request(id, "brownout");
             }
+        }
+    };
+
+    // A sharer admitted while the prefix was resident was charged only its
+    // private suffix. If the prefix has since been dropped (last
+    // referencer left) and the whole once-counted demand no longer fits
+    // the live budget, the request can never dispatch — shed it rather
+    // than starving the queue (same discipline as do_shrink's misfits).
+    auto prefix_feasibility_sweep = [&]() {
+        if (prefix_holders > 0) return;  // resident: everyone feasible
+        for (size_t j = prefill_queue.size(); j-- > 0;) {
+            const int id = prefill_queue[j].id;
+            if (kv_held[static_cast<size_t>(id)] != 0) continue;
+            if (!is_sharer(id)) continue;
+            if (whole_demand_of(
+                    result.records[static_cast<size_t>(id)].request) <=
+                live_budget) {
+                continue;
+            }
+            prefill_queue.erase(prefill_queue.begin() +
+                                static_cast<long>(j));
+            shed_request(id, "prefix_dropped");
         }
     };
 
@@ -1097,8 +1222,11 @@ ServingSimulator::Run()
                 }
                 const RequestRecord& record =
                     result.records[static_cast<size_t>(id)];
+                // Growth is charged against the private pages: generated
+                // tokens extend the suffix, never the page-aligned shared
+                // prefix, so the prefix stays counted once.
                 const int64_t needed = pages_for(
-                    static_cast<int64_t>(record.request.prompt_len) +
+                    static_cast<int64_t>(record.request.PrivatePromptLen()) +
                     record.tokens_out);
                 int64_t delta = needed - kv_held[static_cast<size_t>(id)];
                 if (delta <= 0) continue;
@@ -1124,7 +1252,8 @@ ServingSimulator::Run()
                     }
                     PendingPrefill again;
                     again.id = id;
-                    again.profile = &costs_.Costs(vrec.request.AsInference());
+                    again.profile =
+                        &costs_.Costs(vrec.request.ServedInference());
                     prefill_queue.push_back(again);
                     delta = 0;
                     break;
@@ -1140,6 +1269,7 @@ ServingSimulator::Run()
 
         if (shrink_pending && now >= fopts.pool_shrink_at_ms) do_shrink();
         if (options_.shed_expired_queued) expire_sweep();
+        if (sharing_on && kv_bounded) prefix_feasibility_sweep();
         if (inject_on && fopts.brownout_shedding && thermal.Throttled()) {
             brownout_sweep();
         }

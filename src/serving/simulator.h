@@ -102,6 +102,24 @@ struct ServingOptions {
      *  accounting. */
     int64_t kv_page_size = 16;
 
+    /**
+     * Shared-system-prompt scenario (src/workloads/arrivals.h): one
+     * page-aligned prefix carried by `share_fraction` of arrivals. The
+     * prefix's KV is a shared-cache asset:
+     *  - its pages are charged *once* across all referencing requests —
+     *    materialized at the first referencer's reservation, dropped when
+     *    the last referencer's pages are released;
+     *  - admission counts a sharer's demand as its private suffix plus the
+     *    prefix only when no referencer currently holds it;
+     *  - sharers prefill (and are cost-priced on) the private suffix only;
+     *  - eviction prefers victims whose pages are all private: within each
+     *    tier of the termination-safe victim order, a victim whose removal
+     *    would drop the shared prefix is picked only when no other victim
+     *    in that tier exists.
+     * Disabled (prefix_len == 0) is bit-identical to the legacy simulator.
+     */
+    SharedPrefixOptions shared_prefix;
+
     /** Fault-injection scenario and its defenses (src/serving/faults.h).
      *  Default-constructed = fully disabled: the simulator is bit-identical
      *  to a build without the fault plane. */
@@ -189,6 +207,18 @@ struct ServingResult {
     /** Peak pages in use after a mid-run pool shrink completed (0 when no
      *  shrink fired). Invariant: never exceeds kv_pool_pages_live. */
     int64_t kv_pages_peak_post_shrink = 0;
+
+    /** Pages of the shared system prefix (0 = scenario disabled). */
+    int64_t shared_prefix_pages = 0;
+    /** Admitted requests carrying the shared prefix. */
+    int shared_requests = 0;
+    /** Times the prefix went from unreferenced to resident (pages charged
+     *  to the pool). > 1 means the prefix was dropped and rebuilt. */
+    int shared_prefix_materializations = 0;
+    /** Times the last referencer released the prefix (pages freed). */
+    int shared_prefix_drops = 0;
+    /** Peak simultaneous referencers of the shared prefix. */
+    int shared_prefix_refs_peak = 0;
 
     /** Executed quanta (chunks on the NPU, decode steps on the CPU) with
      *  their realized start/end times, for schedule-validity checks.

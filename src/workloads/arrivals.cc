@@ -28,6 +28,15 @@ RequestSampler::RequestSampler(std::vector<DatasetProfile> mix, uint64_t seed,
     cumulative_.back() = 1.0;  // absorb rounding
 }
 
+void
+RequestSampler::SetSharedPrefix(const SharedPrefixOptions& shared)
+{
+    LLMNPU_CHECK_GE(shared.prefix_len, 0);
+    LLMNPU_CHECK_GE(shared.share_fraction, 0.0);
+    LLMNPU_CHECK_LE(shared.share_fraction, 1.0);
+    shared_ = shared;
+}
+
 ArrivalEvent
 RequestSampler::Sample()
 {
@@ -39,16 +48,28 @@ RequestSampler::Sample()
     ArrivalEvent event;
     event.profile_index = static_cast<int>(index);
     event.request = mix_[index].Sample(rng_);
+    if (shared_.Enabled()) {
+        // One draw per sample regardless of the fraction, so fraction
+        // sweeps at a fixed seed mark nested arrival sets. Requests whose
+        // sampled prompt the prefix would swallow stay independent.
+        const double share_u = rng_.Uniform();
+        if (share_u < shared_.share_fraction &&
+            event.request.prompt_len > shared_.prefix_len) {
+            event.shared_prefix_len = shared_.prefix_len;
+        }
+    }
     return event;
 }
 
 std::vector<ArrivalEvent>
 GeneratePoissonArrivals(const std::vector<DatasetProfile>& mix,
-                        double rate_rps, int num_requests, uint64_t seed)
+                        double rate_rps, int num_requests, uint64_t seed,
+                        const SharedPrefixOptions& shared)
 {
     LLMNPU_CHECK_GT(rate_rps, 0.0);
     LLMNPU_CHECK_GT(num_requests, 0);
     RequestSampler sampler(mix, seed);
+    sampler.SetSharedPrefix(shared);
     Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);  // independent inter-arrival draws
     std::vector<ArrivalEvent> arrivals;
     arrivals.reserve(static_cast<size_t>(num_requests));

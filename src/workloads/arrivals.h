@@ -22,6 +22,32 @@ struct ArrivalEvent {
     InferenceRequest request;
     /** Index into the generating mixture (which dataset produced it). */
     int profile_index = 0;
+    /** Leading prompt tokens that are the scenario's shared system prefix
+     *  (0 = independent prompt; see SharedPrefixOptions). */
+    int shared_prefix_len = 0;
+};
+
+/**
+ * Shared-system-prompt scenario: one fixed prefix (a system prompt every
+ * app instance sends verbatim) carried by a configurable fraction of
+ * arrivals. Marked requests prepend `prefix_len` tokens to their sampled
+ * prompt conceptually — the sampled prompt must already be longer than the
+ * prefix for the request to be marked, so prompt_len always covers it.
+ *
+ * The per-arrival share draw happens for *every* sample once prefix_len
+ * is set (even at fraction 0), so sweeping the fraction at a fixed seed
+ * yields nested sharing sets: the arrivals marked at 0.25 are a subset of
+ * those marked at 0.5 — capacity sweeps compare like against like.
+ * prefix_len == 0 draws nothing and is bit-identical to the legacy stream.
+ */
+struct SharedPrefixOptions {
+    /** Shared prefix length in tokens; 0 disables the scenario. The
+     *  serving simulator requires it page-aligned (kv_page_size). */
+    int prefix_len = 0;
+    /** Fraction of arrivals carrying the prefix, in [0, 1]. */
+    double share_fraction = 0.0;
+
+    bool Enabled() const { return prefix_len > 0; }
 };
 
 /**
@@ -39,22 +65,31 @@ class RequestSampler
     /** Samples one request (arrival_ms left 0; callers assign it). */
     ArrivalEvent Sample();
 
+    /** Turns on the shared-system-prompt scenario: every subsequent
+     *  Sample() draws one extra uniform and marks the request with the
+     *  prefix when the draw falls under share_fraction (and the sampled
+     *  prompt is longer than the prefix). Disabled options are a no-op. */
+    void SetSharedPrefix(const SharedPrefixOptions& shared);
+
     const std::vector<DatasetProfile>& mix() const { return mix_; }
 
   private:
     std::vector<DatasetProfile> mix_;
     std::vector<double> cumulative_;  ///< normalized cumulative weights
+    SharedPrefixOptions shared_;
     Rng rng_;
 };
 
 /**
  * Open-loop Poisson arrival stream: `num_requests` requests with
  * exponential inter-arrival times at `rate_rps` requests/second, each drawn
- * from the mixture. Sorted by arrival time by construction.
+ * from the mixture. Sorted by arrival time by construction. `shared`
+ * enables the shared-system-prompt scenario over the stream.
  */
 std::vector<ArrivalEvent> GeneratePoissonArrivals(
     const std::vector<DatasetProfile>& mix, double rate_rps,
-    int num_requests, uint64_t seed);
+    int num_requests, uint64_t seed,
+    const SharedPrefixOptions& shared = {});
 
 }  // namespace llmnpu
 

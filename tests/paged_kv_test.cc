@@ -3,8 +3,13 @@
  * Paged KV subsystem tests (CTest label `paged-kv`).
  *
  * Covers the KvPagePool allocator (free-list reuse, bounded exhaustion,
- * refcounted prefix sharing), the paged BatchedKvCache (page-table reuse
- * after retirement, CanAppend backpressure, retired-slot access), the
+ * refcounted prefix sharing, unbounded-headroom sentinel), the paged
+ * BatchedKvCache (page-table reuse after retirement, CanAppend
+ * backpressure — including pending copy-on-write clones — retired-slot
+ * access, CoW fork-write divergence and randomized refcount accounting),
+ * the shared-system-prompt serving scenario (once-counted admission,
+ * eviction with a resident prefix, nested fraction marking, bitwise
+ * replay through CoW forks), the
  * fused PagedCausalAttention kernel (bitwise equality to the per-sequence
  * reference and 1/2/4-thread determinism), B=64 ragged batched forward vs
  * sequential, the serving layer's KV admission/eviction model (including
@@ -15,6 +20,7 @@
 
 #include <cmath>
 #include <cstring>
+#include <map>
 #include <vector>
 
 #include "src/core/llmnpu_engine.h"
@@ -69,7 +75,10 @@ TEST(KvPagePoolTest, FreeListRecyclesReleasedPagesLifo)
     pool.Release(a);
     pool.Release(c);
     EXPECT_EQ(pool.used_pages(), 1);
-    EXPECT_EQ(pool.free_pages(), 2);
+    // Unbounded pools grow on demand, so their headroom is unbounded —
+    // the sentinel, not the current free-list length (which once made
+    // CanAppend refuse appends an unbounded pool would have served).
+    EXPECT_EQ(pool.free_pages(), kUnboundedFreePages);
     // LIFO: the most recently released page comes back first, and no new
     // physical storage is allocated while the free list can serve.
     EXPECT_EQ(pool.AllocPage(), c);
@@ -200,6 +209,148 @@ TEST(PagedKvCacheTest, CanAppendReflectsPoolBudget)
     EXPECT_FALSE(cache.CanAppend(seq, 4));   // spills past the budget
 }
 
+TEST(PagedKvCacheTest, CowForkWriteDivergenceIsBitwiseIsolated)
+{
+    // Non-aligned fork: the partially filled frontier page is shared too,
+    // and the first write into it — from either side — copies the page
+    // instead of dying on the old write-locked CHECK.
+    BatchedKvCache cache(1, 4, 0, PagedKvOptions{/*page_size=*/4});
+    const int src = cache.AddSequence();
+    Rng rng(17);
+    Tensor k = RandomTensor(rng, 10, 4);  // 10 positions -> 3 pages
+    Tensor v = RandomTensor(rng, 10, 4);
+    cache.Append(src, 0, k, v);
+
+    const int fork = cache.AddSequenceSharingPrefix(src, 10);
+    EXPECT_EQ(cache.SeqLen(fork), 10);
+    EXPECT_EQ(cache.PageTable(fork)[2], cache.PageTable(src)[2]);
+    EXPECT_EQ(cache.pool().used_pages(), 3);  // partial page shared once
+
+    // Source writes first: it clones the frontier page, the fork keeps
+    // the original.
+    Tensor sk = RandomTensor(rng, 2, 4);
+    Tensor sv = RandomTensor(rng, 2, 4);
+    cache.Append(src, 0, sk, sv);
+    EXPECT_EQ(cache.pool().cow_clones(), 1);
+    EXPECT_NE(cache.PageTable(src)[2], cache.PageTable(fork)[2]);
+    EXPECT_EQ(cache.pool().RefCount(cache.PageTable(fork)[2]), 1);
+
+    // The fork now owns its frontier page alone — its write is in place.
+    Tensor fk = RandomTensor(rng, 3, 4);
+    Tensor fv = RandomTensor(rng, 3, 4);
+    cache.Append(fork, 0, fk, fv);
+    EXPECT_EQ(cache.pool().cow_clones(), 1);
+
+    // A second fork off the grown source CoWs again on its first write.
+    const int fork2 = cache.AddSequenceSharingPrefix(src, 10);
+    Tensor gk = RandomTensor(rng, 1, 4);
+    Tensor gv = RandomTensor(rng, 1, 4);
+    cache.Append(fork2, 0, gk, gv);
+    EXPECT_EQ(cache.pool().cow_clones(), 2);
+
+    // Every view is bitwise what an independent sequence would hold.
+    Tensor src_expect({12, 4}, DType::kF32);
+    src_expect.PasteRows(k, 0);
+    src_expect.PasteRows(sk, 10);
+    EXPECT_TRUE(BitwiseEqual(cache.Keys(src, 0), src_expect));
+    Tensor fork_expect({13, 4}, DType::kF32);
+    fork_expect.PasteRows(k, 0);
+    fork_expect.PasteRows(fk, 10);
+    EXPECT_TRUE(BitwiseEqual(cache.Keys(fork, 0), fork_expect));
+    Tensor fork2_expect({11, 4}, DType::kF32);
+    fork2_expect.PasteRows(k, 0);
+    fork2_expect.PasteRows(gk, 10);
+    EXPECT_TRUE(BitwiseEqual(cache.Keys(fork2, 0), fork2_expect));
+}
+
+TEST(PagedKvCacheTest, CanAppendChargesPendingCowClones)
+{
+    BatchedKvCache cache(1, 4, 0,
+                         PagedKvOptions{/*page_size=*/4, /*max_pages=*/3});
+    const int src = cache.AddSequence();
+    Tensor k = Tensor::Full({6, 4}, 1.0f);  // page 0 full, page 1 half
+    Tensor v = Tensor::Full({6, 4}, 2.0f);
+    cache.Append(src, 0, k, v);
+    const int fork = cache.AddSequenceSharingPrefix(src, 6);
+    // One free page left. A short append writes only the shared frontier
+    // page — no new mapping, but the CoW copy takes the free page.
+    EXPECT_TRUE(cache.CanAppend(fork, 1));
+    EXPECT_TRUE(cache.CanAppend(fork, 2));
+    // Three positions also map a fresh page past the frontier: clone +
+    // new page = 2 > 1 free.
+    EXPECT_FALSE(cache.CanAppend(fork, 3));
+}
+
+TEST(PagedKvCacheTest, RandomizedForkAppendRetireKeepsRefcountsExact)
+{
+    // Model check of the sharing accounting: after every operation, the
+    // pool's used-page count equals the number of distinct pages mapped by
+    // live sequences and each page's refcount equals the number of live
+    // sequences mapping it. Slot storage starts empty so the run also
+    // reallocates the internal sequence vector many times.
+    const int64_t kv_dim = 4;
+    BatchedKvCache cache(1, kv_dim, 0, PagedKvOptions{/*page_size=*/4});
+    Rng rng(123);
+    std::vector<int> live;
+    std::map<int, std::vector<float>> mirror;  // slot -> expected key rows
+    auto append_rows = [&](int seq, int rows) {
+        Tensor k = RandomTensor(rng, rows, kv_dim);
+        Tensor v = RandomTensor(rng, rows, kv_dim);
+        cache.Append(seq, 0, k, v);
+        const float* p = k.Data<float>();
+        std::vector<float>& m = mirror[seq];
+        m.insert(m.end(), p, p + k.NumElements());
+    };
+    for (int op = 0; op < 300; ++op) {
+        const int kind = static_cast<int>(rng.Next() % 4);
+        if (live.empty() || kind == 0) {
+            const int s = cache.AddSequence();
+            live.push_back(s);
+            append_rows(s, 1 + static_cast<int>(rng.Next() % 6));
+        } else if (kind == 1) {
+            const int src =
+                live[static_cast<size_t>(rng.Next() % live.size())];
+            const int64_t len = cache.SeqLen(src);
+            const int64_t keep = static_cast<int64_t>(
+                rng.Next() % static_cast<uint64_t>(len + 1));
+            const int fork = cache.AddSequenceSharingPrefix(src, keep);
+            live.push_back(fork);
+            const std::vector<float>& sm = mirror[src];
+            mirror[fork].assign(sm.begin(), sm.begin() + keep * kv_dim);
+        } else if (kind == 2) {
+            const int s =
+                live[static_cast<size_t>(rng.Next() % live.size())];
+            append_rows(s, 1 + static_cast<int>(rng.Next() % 5));
+        } else {
+            const size_t i =
+                static_cast<size_t>(rng.Next() % live.size());
+            cache.RetireSequence(live[i]);
+            mirror.erase(live[i]);
+            live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+        }
+        std::map<int64_t, int> refs;
+        for (int s : live) {
+            for (int64_t p : cache.PageTable(s)) ++refs[p];
+        }
+        ASSERT_EQ(cache.pool().used_pages(),
+                  static_cast<int64_t>(refs.size()));
+        for (const auto& [page, count] : refs) {
+            ASSERT_EQ(cache.pool().RefCount(page), count);
+        }
+    }
+    // Values: every live sequence reads back exactly its own stream —
+    // no CoW ever leaked a write into a sibling's pages.
+    for (int s : live) {
+        const std::vector<float>& m = mirror[s];
+        if (m.empty()) continue;
+        Tensor keys = cache.Keys(s, 0);
+        ASSERT_EQ(static_cast<size_t>(keys.NumElements()), m.size());
+        ASSERT_EQ(std::memcmp(keys.Data<float>(), m.data(),
+                              m.size() * sizeof(float)),
+                  0);
+    }
+}
+
 TEST(PagedKvCacheDeathTest, RetiredSlotAccessPanics)
 {
     BatchedKvCache cache(1, 4, 1, PagedKvOptions{/*page_size=*/4});
@@ -219,6 +370,23 @@ TEST(PagedKvCacheDeathTest, BoundedExhaustionOnAppendPanics)
     Tensor v = Tensor::Full({3, 4}, 2.0f);
     ASSERT_FALSE(cache.CanAppend(0, 3));
     EXPECT_DEATH(cache.Append(0, 0, k, v), "CHECK failed");
+}
+
+TEST(PagedKvCacheDeathTest, CowOnExhaustedBoundedPoolPanics)
+{
+    // Budget fully consumed by the shared pages: the append maps no new
+    // page, but the CoW copy it needs has nowhere to go.
+    BatchedKvCache cache(1, 4, 0,
+                         PagedKvOptions{/*page_size=*/4, /*max_pages=*/2});
+    const int src = cache.AddSequence();
+    Tensor k = Tensor::Full({6, 4}, 1.0f);
+    Tensor v = Tensor::Full({6, 4}, 2.0f);
+    cache.Append(src, 0, k, v);
+    const int fork = cache.AddSequenceSharingPrefix(src, 6);
+    Tensor k1 = Tensor::Full({1, 4}, 3.0f);
+    Tensor v1 = Tensor::Full({1, 4}, 4.0f);
+    ASSERT_FALSE(cache.CanAppend(fork, 1));
+    EXPECT_DEATH(cache.Append(fork, 0, k1, v1), "CHECK failed");
 }
 
 // ------------------------------------------------- fused paged attention
@@ -510,6 +678,157 @@ TEST_F(PagedServingTest, ClosedLoopAllRejectedStillTerminates)
         ServingSimulator(costs, {PersonaChatProfile()}, options).Run();
     EXPECT_EQ(result.rejected, 9);  // every client retried to the cap
     EXPECT_EQ(static_cast<int>(result.records.size()), 9);
+}
+
+// ------------------------------------ serving: shared-system-prompt plane
+
+/** Fixed-shape profile so the page arithmetic below is exact. */
+DatasetProfile
+FixedProfile(int prompt, int output)
+{
+    DatasetProfile profile;
+    profile.name = "fixed";
+    profile.application = "test";
+    profile.prompt_min = prompt;
+    profile.prompt_max = prompt;
+    profile.output_min = output;
+    profile.output_max = output;
+    return profile;
+}
+
+TEST_F(PagedServingTest, SharedPrefixChargedOnceAcrossConcurrentSharers)
+{
+    LlmNpuEngine engine;
+    ServingCostModel costs(engine, qwen_, soc_);
+    ServingOptions options;
+    options.num_requests = 6;
+    options.rate_rps = 200.0;
+    options.seed = 9;
+    // prefix 48 tokens = 3 pages; private side = pages(32 + 8) = 3 pages.
+    // 9 pages hold the prefix plus TWO full private sides only because
+    // the prefix is charged once — double-charging would need 12.
+    options.kv_pool_pages = 9;
+    options.kv_page_size = 16;
+    options.shared_prefix.prefix_len = 48;
+    options.shared_prefix.share_fraction = 1.0;
+    const ServingResult result =
+        ServingSimulator(costs, {FixedProfile(80, 8)}, options).Run();
+    EXPECT_EQ(result.rejected, 0);  // whole once-counted demand 6 <= 9
+    EXPECT_EQ(result.shared_requests, 6);
+    EXPECT_EQ(result.shared_prefix_pages, 3);
+    EXPECT_LE(result.kv_pages_peak, 9);
+    EXPECT_GE(result.shared_prefix_refs_peak, 2);  // concurrent sharers
+    EXPECT_GE(result.shared_prefix_materializations, 1);
+    EXPECT_EQ(result.shared_prefix_materializations,
+              result.shared_prefix_drops);  // fully released at the end
+    for (const RequestRecord& record : result.records) {
+        EXPECT_TRUE(record.Completed()) << "request " << record.request.id;
+    }
+}
+
+TEST_F(PagedServingTest, EvictionWithResidentPrefixStaysWithinBudget)
+{
+    LlmNpuEngine engine;
+    ServingCostModel costs(engine, qwen_, soc_);
+    ServingOptions options;
+    options.num_requests = 8;
+    options.rate_rps = 300.0;
+    options.seed = 9;
+    options.kv_page_size = 16;
+    options.shared_prefix.prefix_len = 48;
+    options.shared_prefix.share_fraction = 1.0;
+    // Shrink until decode growth forces evictions while sharers hold the
+    // prefix; eviction must pick private-page victims first and the pool
+    // must never overshoot (a double-free of shared pages would let it).
+    ServingResult result;
+    bool found = false;
+    for (int64_t pool : {9, 8, 7, 6}) {
+        options.kv_pool_pages = pool;
+        result = ServingSimulator(costs, {FixedProfile(80, 8)}, options)
+                     .Run();
+        EXPECT_LE(result.kv_pages_peak, pool);
+        EXPECT_EQ(result.shared_prefix_materializations,
+                  result.shared_prefix_drops);
+        if (result.evictions > 0) {
+            found = true;
+            break;
+        }
+    }
+    ASSERT_TRUE(found) << "no pool size under test produced an eviction";
+    EXPECT_GT(result.shared_requests, 0);
+    for (const RequestRecord& record : result.records) {
+        if (!record.rejected && !record.shed) {
+            EXPECT_TRUE(record.Completed())
+                << "request " << record.request.id;
+        }
+    }
+}
+
+TEST(SharedPrefixWorkloadTest, FractionSweepsMarkNestedArrivalSets)
+{
+    const std::vector<DatasetProfile> mix = {PersonaChatProfile()};
+    const auto lo = GeneratePoissonArrivals(
+        mix, 5.0, 40, 7, SharedPrefixOptions{/*prefix_len=*/16, 0.3});
+    const auto hi = GeneratePoissonArrivals(
+        mix, 5.0, 40, 7, SharedPrefixOptions{/*prefix_len=*/16, 0.8});
+    ASSERT_EQ(lo.size(), hi.size());
+    int lo_marked = 0;
+    int hi_marked = 0;
+    for (size_t i = 0; i < lo.size(); ++i) {
+        // The share draw never perturbs the stream itself...
+        EXPECT_EQ(lo[i].arrival_ms, hi[i].arrival_ms);
+        EXPECT_EQ(lo[i].request.prompt_len, hi[i].request.prompt_len);
+        EXPECT_EQ(lo[i].request.output_len, hi[i].request.output_len);
+        // ...and marks nested sets: every 0.3-marked arrival is 0.8-marked.
+        if (lo[i].shared_prefix_len > 0) {
+            ++lo_marked;
+            EXPECT_EQ(hi[i].shared_prefix_len, 16);
+        }
+        if (hi[i].shared_prefix_len > 0) ++hi_marked;
+    }
+    EXPECT_GT(lo_marked, 0);
+    EXPECT_GT(hi_marked, lo_marked);
+    // prefix_len == 0 draws nothing: bit-identical to the legacy stream.
+    const auto legacy = GeneratePoissonArrivals(mix, 5.0, 40, 7);
+    const auto off = GeneratePoissonArrivals(
+        mix, 5.0, 40, 7, SharedPrefixOptions{/*prefix_len=*/0, 0.5});
+    ASSERT_EQ(off.size(), legacy.size());
+    for (size_t i = 0; i < legacy.size(); ++i) {
+        EXPECT_EQ(off[i].arrival_ms, legacy[i].arrival_ms);
+        EXPECT_EQ(off[i].request.prompt_len, legacy[i].request.prompt_len);
+        EXPECT_EQ(off[i].shared_prefix_len, 0);
+    }
+}
+
+TEST_F(PagedServingTest, SharedPrefixScheduleReplaysBitwiseThroughCow)
+{
+    LlmNpuEngine engine;
+    ServingCostModel costs(engine, qwen_, soc_);
+    ServingOptions options;
+    options.num_requests = 8;
+    options.rate_rps = 100.0;
+    options.seed = 21;
+    options.kv_pool_pages = 16;
+    options.kv_page_size = 16;
+    options.shared_prefix.prefix_len = 16;
+    options.shared_prefix.share_fraction = 0.75;
+    const ServingResult result =
+        ServingSimulator(costs, {FixedProfile(56, 6)}, options).Run();
+    ASSERT_GT(result.shared_requests, 0);
+
+    const TinyModelContext& tiny = SharedTinyModel();
+    Fp32LinearExecutor linears(tiny.weights);
+    ReplayOptions ropts;
+    // Replayed prefix = min(16, 10) = 10 tokens: NOT page-aligned, so
+    // every fork shares the template's partial frontier page and the
+    // first suffix write copy-on-writes it mid-stream.
+    ropts.max_prompt_tokens = 10;
+    const ReplayOutcome outcome = ReplayServingTrace(
+        result.replay_steps, result.records, tiny.model, linears, ropts);
+    EXPECT_TRUE(outcome.bitwise_match) << outcome.first_mismatch;
+    EXPECT_GT(outcome.shared_prefix_forks, 0);
+    EXPECT_GT(outcome.cow_page_clones, 0);
+    EXPECT_GT(outcome.prefill_steps, 0);
 }
 
 // ----------------------------------------------- empty-input bug guards
